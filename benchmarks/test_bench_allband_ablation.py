@@ -1,0 +1,78 @@
+"""E10 — Section IV ablation: all-band (BLAS-3) vs band-by-band (BLAS-2).
+
+The paper's single most important node-level optimisation replaced the
+band-by-band conjugate-gradient solver (BLAS-2 bound, ~15% of peak) by an
+all-band block solver with overlap-matrix orthogonalisation (BLAS-3,
+~45-56% of peak), a ~3-4x speedup of PEtot_F.  This benchmark runs both
+eigensolvers of this repository on the same fragment-sized Hamiltonian and
+checks that (i) they agree on the spectrum and (ii) the all-band solver is
+substantially faster per converged calculation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.atoms.toy import cscl_binary
+from repro.io.results import ResultRecord, save_records
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.eigensolver import all_band_cg, band_by_band_cg
+from repro.pw.energy import screening_potential
+from repro.pw.grid import FFTGrid
+from repro.pw.hamiltonian import Hamiltonian
+from repro.pw.pseudopotential import default_pseudopotentials
+
+
+def _setup_fragment_hamiltonian():
+    structure = cscl_binary((2, 2, 1), "Zn", "Se", 6.5)
+    pps = default_pseudopotentials()
+    grid = FFTGrid.for_structure(structure.cell, points_per_bohr=1.6)
+    basis = PlaneWaveBasis(grid, ecut=2.2)
+    h = Hamiltonian.from_structure(structure, basis, pps)
+    rho_ion = pps.ionic_density(structure, grid)
+    rho0 = np.clip(rho_ion, 0, None)
+    rho0 *= structure.total_valence_electrons() / (np.sum(rho0) * grid.dvol)
+    h.set_effective_potential(screening_potential(rho0, grid, rho_ion))
+    nbands = structure.total_valence_electrons() // 2 + 2
+    return h, nbands
+
+
+def _run_ablation():
+    h, nbands = _setup_fragment_hamiltonian()
+    t0 = time.perf_counter()
+    allband = all_band_cg(h, nbands, max_iterations=120, tolerance=1e-5)
+    t_allband = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    bandbyband = band_by_band_cg(h, nbands, max_iterations=25, cg_steps_per_band=5,
+                                 tolerance=1e-5)
+    t_bandbyband = time.perf_counter() - t0
+    return allband, t_allband, bandbyband, t_bandbyband
+
+
+@pytest.mark.paper_experiment
+def test_bench_allband_vs_bandbyband(benchmark, results_dir):
+    allband, t_all, bandbyband, t_bb = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    max_dev = float(np.max(np.abs(allband.eigenvalues - bandbyband.eigenvalues)))
+    speedup = t_bb / t_all
+    print("\nAll-band (BLAS-3) vs band-by-band (BLAS-2) fragment solve:")
+    print(f"  all-band:      {t_all:7.2f} s, {allband.iterations} iterations, "
+          f"max residual {allband.residual_norms.max():.2e}")
+    print(f"  band-by-band:  {t_bb:7.2f} s, {bandbyband.iterations} iterations, "
+          f"max residual {bandbyband.residual_norms.max():.2e}")
+    print(f"  spectral agreement: {max_dev:.2e} Ha;  wall-clock ratio {speedup:.1f}x "
+          f"(paper: ~3x for PEtot_F)")
+    save_records(
+        [ResultRecord("allband_ablation", {
+            "t_allband_s": t_all, "t_bandbyband_s": t_bb,
+            "speedup": speedup, "max_eigenvalue_deviation": max_dev})],
+        results_dir / "allband_ablation.json",
+    )
+
+    # Both algorithms find the same spectrum ...
+    assert max_dev < 5e-3
+    # ... and the all-band solver delivers the paper's qualitative win.
+    assert allband.converged
+    assert speedup > 1.5

@@ -1,0 +1,81 @@
+"""E8 — Section VI comparison against O(N^3) plane-wave codes.
+
+Paper claims reproduced in shape:
+* the direct-code / LS3DF time crossover sits at a few hundred atoms
+  (the paper deduces ~600);
+* for the 13,824-atom system LS3DF is hundreds of times faster (the paper
+  estimates 400x) even granting the direct code perfect scaling;
+* a fully converged 13,824-atom LS3DF calculation takes hours, the direct
+  code weeks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.results import ResultRecord, save_records
+from repro.io.tables import format_table
+from repro.parallel.comm import CommScheme
+from repro.parallel.flops import LS3DFWorkload
+from repro.parallel.machine import FRANKLIN
+from repro.parallel.perfmodel import DirectDFTCostModel, LS3DFPerformanceModel
+
+
+def _crossover_experiment():
+    direct = DirectDFTCostModel()
+    rows = []
+    for m in (2, 3, 4, 5, 6, 8, 10, 12):
+        wl = LS3DFWorkload((m, m, m), grid_per_cell=40, ecut_ry=50)
+        cores = 320
+        model = LS3DFPerformanceModel(FRANKLIN, wl, CommScheme.COLLECTIVE)
+        npg = 20 if cores % 20 == 0 else 10
+        t_ls3df = sum(model.iteration_breakdown(cores, npg).values())
+        t_direct = direct.time_per_iteration(wl.natoms, cores)
+        rows.append(
+            {
+                "atoms": wl.natoms,
+                "LS3DF s/iter": round(t_ls3df, 1),
+                "direct s/iter": round(t_direct, 1),
+                "direct / LS3DF": round(t_direct / t_ls3df, 2),
+            }
+        )
+    crossover = direct.crossover_atoms(FRANKLIN, 320, 20)
+
+    wl_big = LS3DFWorkload((12, 12, 12), grid_per_cell=40, ecut_ry=50)
+    big_model = LS3DFPerformanceModel(FRANKLIN, wl_big, CommScheme.COLLECTIVE)
+    speedup = direct.speedup_of_ls3df(big_model, 17280, 10)
+    t_ls3df_full = sum(big_model.iteration_breakdown(17280, 10).values()) * 60 / 3600.0
+    t_direct_full = direct.time_to_converge(wl_big.natoms, 17280, 60) / 86400.0
+    return rows, crossover, speedup, t_ls3df_full, t_direct_full
+
+
+@pytest.mark.paper_experiment
+def test_bench_crossover_and_400x(benchmark, results_dir):
+    rows, crossover, speedup, ls3df_hours, direct_days = benchmark.pedantic(
+        _crossover_experiment, rounds=1, iterations=1
+    )
+    print("\nO(N) vs O(N^3) comparison (320 Franklin cores, per SCF iteration):")
+    print(format_table(rows))
+    print(f"crossover: ~{crossover:.0f} atoms (paper: ~600)")
+    print(f"13,824-atom speedup on 17,280 cores: {speedup:.0f}x (paper: ~400x)")
+    print(f"13,824-atom converged run: LS3DF ~{ls3df_hours:.1f} h vs direct ~{direct_days:.0f} days")
+    save_records(
+        [ResultRecord("crossover", {"rows": rows, "crossover_atoms": crossover,
+                                    "speedup_13824": speedup,
+                                    "ls3df_hours": ls3df_hours,
+                                    "direct_days": direct_days})],
+        results_dir / "crossover.json",
+    )
+
+    # Shape assertions.
+    assert 200 < crossover < 1500
+    # Below the crossover the direct code wins, far above it LS3DF wins big.
+    assert rows[0]["direct / LS3DF"] < 1.0
+    assert rows[-1]["direct / LS3DF"] > 50.0
+    assert 200 < speedup < 1000
+    # Converged 13,824-atom run: hours for LS3DF, weeks for the direct code.
+    assert ls3df_hours < 12.0
+    assert direct_days > 20.0
+    # The ratio grows monotonically with system size (linear vs cubic).
+    ratios = [r["direct / LS3DF"] for r in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:]))

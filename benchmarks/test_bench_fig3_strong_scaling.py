@@ -1,0 +1,85 @@
+"""E2 — Figure 3: strong scaling of LS3DF and PEtot_F with the Amdahl fit.
+
+The paper scales the 3,456-atom (8x6x9) problem from 1,080 to 17,280
+Franklin cores at Np = 40 and reports speedups of 13.8x (LS3DF, 86.3%
+efficiency) and 15.3x (PEtot_F, 95.8% efficiency) at the 16x concurrency
+point, with an Amdahl's-law fit of serial fraction ~1/101,000 (LS3DF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.results import ResultRecord, save_records
+from repro.io.tables import format_table
+from repro.parallel.amdahl import fit_amdahl
+from repro.parallel.comm import CommScheme
+from repro.parallel.flops import LS3DFWorkload
+from repro.parallel.machine import FRANKLIN
+from repro.parallel.perfmodel import LS3DFPerformanceModel
+
+CORES = [1080, 2160, 4320, 8640, 17280]
+
+
+def _strong_scaling():
+    wl = LS3DFWorkload((8, 6, 9), grid_per_cell=40, ecut_ry=50)
+    model = LS3DFPerformanceModel(FRANKLIN, wl, CommScheme.COLLECTIVE)
+    ls3df_tflops = []
+    petot_tflops = []
+    for cores in CORES:
+        p = model.evaluate(cores, 40)
+        ls3df_tflops.append(p.tflops)
+        petot_tflops.append(model.petot_f_only_tflops(cores, 40))
+    return np.array(ls3df_tflops), np.array(petot_tflops)
+
+
+@pytest.mark.paper_experiment
+def test_bench_fig3_strong_scaling(benchmark, results_dir):
+    ls3df, petot = benchmark.pedantic(_strong_scaling, rounds=1, iterations=1)
+    cores = np.array(CORES, dtype=float)
+    speedup_ls3df = ls3df / ls3df[0]
+    speedup_petot = petot / petot[0]
+    ideal = cores / cores[0]
+    eff_ls3df = speedup_ls3df / ideal
+    eff_petot = speedup_petot / ideal
+
+    fit_ls3df = fit_amdahl(cores, ls3df)
+    fit_petot = fit_amdahl(cores, petot)
+
+    rows = [
+        {
+            "cores": int(c),
+            "LS3DF speedup": round(float(s), 2),
+            "PEtot_F speedup": round(float(sp), 2),
+            "LS3DF eff %": round(100 * float(e), 1),
+            "PEtot_F eff %": round(100 * float(ep), 1),
+        }
+        for c, s, sp, e, ep in zip(cores, speedup_ls3df, speedup_petot, eff_ls3df, eff_petot)
+    ]
+    print("\nFigure 3 (strong scaling, 3,456 atoms, Np=40, Franklin):")
+    print(format_table(rows))
+    print(
+        f"Amdahl fit: LS3DF serial fraction 1/{fit_ls3df.inverse_serial_fraction:,.0f}"
+        f" (paper 1/101,000); PEtot_F 1/{fit_petot.inverse_serial_fraction:,.0f}"
+        f" (paper 1/362,000); mean fit deviation {100*fit_ls3df.mean_absolute_relative_deviation:.2f}%"
+    )
+    save_records(
+        [
+            ResultRecord("fig3", {"rows": rows,
+                                  "ls3df_serial_fraction": fit_ls3df.serial_fraction,
+                                  "petot_serial_fraction": fit_petot.serial_fraction}),
+        ],
+        results_dir / "fig3_strong_scaling.json",
+    )
+
+    # Paper shape: 16x more cores give >12x LS3DF speedup (86.3% efficiency)
+    # and PEtot_F scales better than LS3DF overall.
+    assert speedup_ls3df[-1] > 12.0
+    assert eff_ls3df[-1] > 0.75
+    assert speedup_petot[-1] >= speedup_ls3df[-1] - 1e-9
+    assert eff_petot[-1] > 0.90
+    # Amdahl's law describes the curve well, with a tiny serial fraction.
+    assert fit_ls3df.mean_absolute_relative_deviation < 0.05
+    assert fit_ls3df.serial_fraction < 2e-4
+    assert fit_petot.serial_fraction < fit_ls3df.serial_fraction + 1e-9

@@ -1,0 +1,66 @@
+"""E4 — Figure 5: weak-scaling flop rates on Franklin, Jaguar and Intrepid.
+
+The paper plots total Tflop/s against cores at a constant atoms-per-core
+ratio for each machine; the nearly straight lines (on a log-log plot) are
+the evidence that LS3DF is ready for petascale machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.io.results import ResultRecord, save_records
+from repro.io.tables import format_table
+from repro.parallel.comm import CommScheme
+from repro.parallel.flops import LS3DFWorkload
+from repro.parallel.machine import FRANKLIN, INTREPID, JAGUAR
+from repro.parallel.perfmodel import LS3DFPerformanceModel
+
+WEAK_SCALING_SERIES = {
+    "Franklin": (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, 20,
+                 [((3, 3, 3), 1080), ((4, 4, 4), 2560), ((6, 6, 6), 8640), ((8, 8, 8), 20480 // 2)]),
+    "Jaguar": (JAGUAR, CommScheme.COLLECTIVE, 40, 50, 20,
+               [((8, 8, 6), 7680), ((16, 8, 6), 15360), ((16, 12, 8), 30720)]),
+    "Intrepid": (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, 64,
+                 [((4, 4, 4), 4096), ((8, 4, 4), 8192), ((8, 8, 4), 16384),
+                  ((8, 8, 8), 32768), ((16, 8, 8), 65536), ((16, 16, 8), 131072)]),
+}
+
+
+def _weak_scaling():
+    out = {}
+    for name, (machine, scheme, grid, ecut, npg, runs) in WEAK_SCALING_SERIES.items():
+        rows = []
+        for dims, cores in runs:
+            wl = LS3DFWorkload(dims, grid_per_cell=grid, ecut_ry=ecut)
+            p = LS3DFPerformanceModel(machine, wl, scheme).evaluate(cores, npg)
+            rows.append({"machine": name, "cores": cores, "atoms": wl.natoms,
+                         "Tflop/s": round(p.tflops, 2)})
+        out[name] = rows
+    return out
+
+
+@pytest.mark.paper_experiment
+def test_bench_fig5_weak_scaling(benchmark, results_dir):
+    series = benchmark.pedantic(_weak_scaling, rounds=1, iterations=1)
+    all_rows = [r for rows in series.values() for r in rows]
+    print("\nFigure 5 (weak scaling Tflop/s):")
+    print(format_table(all_rows))
+    save_records([ResultRecord("fig5", {"series": series})], results_dir / "fig5_weak_scaling.json")
+
+    for name, rows in series.items():
+        cores = np.array([r["cores"] for r in rows], dtype=float)
+        tflops = np.array([r["Tflop/s"] for r in rows], dtype=float)
+        # Straight line on log-log with slope ~1 (linear weak scaling).
+        slope = np.polyfit(np.log(cores), np.log(tflops), 1)[0]
+        assert 0.85 < slope < 1.05, (name, slope)
+        # Performance strictly increases with machine partition size.
+        assert np.all(np.diff(tflops) > 0)
+
+    # Machine ordering of the largest runs matches the paper:
+    # Intrepid's largest partition delivers the highest total rate.
+    best = {name: max(r["Tflop/s"] for r in rows) for name, rows in series.items()}
+    assert best["Intrepid"] > best["Jaguar"] > best["Franklin"]
+    # And the headline number is ~100 Tflop/s on 131,072 cores.
+    assert best["Intrepid"] > 80.0

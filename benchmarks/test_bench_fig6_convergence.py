@@ -1,0 +1,72 @@
+"""E5 — Figure 6: LS3DF self-consistent convergence.
+
+The paper plots integral |V_out - V_in| d^3r against SCF iteration for the
+3,456-atom ZnTeO system: an overall steady decay over ~3 decades with
+occasional upward jumps (a known property of potential mixing).  Here the
+same metric is recorded for a model-scale alloy solved with the real LS3DF
+driver; the assertions check the decay shape, not the absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atoms.toy import cscl_binary
+from repro.core.driver import LS3DF
+from repro.io.results import ResultRecord, save_records
+
+
+def _run_convergence():
+    # Model-scale analogue of the ZnTe:O alloy: a CsCl-type Zn-Se host with
+    # one Se site replaced by O (an isoelectronic substitution, as in the
+    # paper's ZnTe(1-x)O(x) system).
+    structure = cscl_binary((2, 2, 1), "Zn", "Se", 6.5)
+    symbols = structure.symbols
+    symbols[symbols.index("Se")] = "O"
+    from repro.atoms.structure import Structure
+
+    alloy = Structure(structure.cell, symbols, structure.positions)
+    ls3df = LS3DF(
+        alloy,
+        grid_dims=(2, 2, 1),
+        ecut=2.2,
+        buffer_cells=0.5,
+        n_empty=2,
+        mixer="kerker",
+        mixer_options={"alpha": 0.6, "q0": 0.8},
+    )
+    result = ls3df.run(
+        max_iterations=18,
+        potential_tolerance=1e-3,
+        eigensolver_tolerance=1e-4,
+        eigensolver_iterations=40,
+    )
+    return result
+
+
+@pytest.mark.paper_experiment
+def test_bench_fig6_scf_convergence(benchmark, results_dir):
+    result = benchmark.pedantic(_run_convergence, rounds=1, iterations=1)
+    history = np.asarray(result.convergence_history)
+    print("\nFigure 6 (LS3DF SCF convergence, model alloy):")
+    for i, v in enumerate(history, 1):
+        print(f"  iteration {i:2d}:  |Vout - Vin| = {v:.4e} a.u.")
+    save_records(
+        [ResultRecord("fig6", {"history": history.tolist(),
+                               "iterations": int(result.iterations),
+                               "converged": bool(result.converged)})],
+        results_dir / "fig6_convergence.json",
+    )
+
+    # Shape of the paper's Figure 6: a substantial overall decay ...
+    assert history[-1] < 0.2 * history[0]
+    assert np.min(history) < 0.1 * history[0]
+    # ... that is monotone in trend but not necessarily per-step (the paper
+    # explicitly notes occasional jumps are normal for potential mixing).
+    first_third = history[: max(2, len(history) // 3)].mean()
+    last_third = history[-max(2, len(history) // 3):].mean()
+    assert last_third < first_third
+    # The energy stabilises along the way.
+    energies = np.asarray(result.energy_history)
+    assert abs(energies[-1] - energies[-2]) < abs(energies[1] - energies[0]) + 1e-12

@@ -1,0 +1,90 @@
+"""E6 — Figure 7 / Section VII: band-edge states of the oxygen alloy.
+
+The paper uses the folded spectrum method on the converged LS3DF potential
+to compute the conduction-band minimum and the oxygen-induced states of
+ZnTe0.97O0.03, finding (i) oxygen-induced states inside the host gap,
+(ii) a finite width of the oxygen-induced band, (iii) a remaining gap
+between the oxygen band and the host band edge, and (iv) localisation of
+the oxygen states on (clusters of) O atoms.
+
+The model-scale analogue replaces Se by O in a small Zn-Se host; in the
+model parameterisation the O-induced states split off the *valence* edge
+into the gap (see DESIGN.md substitution notes) but the analysis pipeline
+(FSM + localisation + band-width/gap extraction) is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.states import localization_report
+from repro.atoms.structure import Structure
+from repro.atoms.toy import cscl_binary
+from repro.constants import HARTREE_TO_EV
+from repro.core.driver import LS3DF
+from repro.io.results import ResultRecord, save_records
+
+
+def _run_band_edge():
+    host = cscl_binary((2, 1, 1), "Zn", "Se", 6.5)
+    # Pure host reference.
+    ls_host = LS3DF(host, grid_dims=(2, 1, 1), ecut=2.4, buffer_cells=0.5, n_empty=3)
+    host_result = ls_host.run(max_iterations=10, potential_tolerance=5e-3,
+                              eigensolver_tolerance=1e-4)
+    nelec = host.total_valence_electrons()
+    host_states = ls_host.lowest_states(host_result, nelec // 2 + 2, tolerance=1e-6)
+    host_evals = host_states.eigenvalues
+
+    # Alloy: one Se replaced by O (isoelectronic, like Te -> O in the paper).
+    symbols = host.symbols
+    symbols[symbols.index("Se")] = "O"
+    alloy = Structure(host.cell, symbols, host.positions)
+    ls_alloy = LS3DF(alloy, grid_dims=(2, 1, 1), ecut=2.4, buffer_cells=0.5, n_empty=3)
+    alloy_result = ls_alloy.run(max_iterations=10, potential_tolerance=5e-3,
+                                eigensolver_tolerance=1e-4)
+
+    # Folded-spectrum band-edge states around the estimated gap centre.
+    states = ls_alloy.band_edge_states(alloy_result, n_states=4,
+                                       max_iterations=120, tolerance=1e-7)
+    densities = states.densities_on_grid()
+    report = localization_report(states.energies, densities,
+                                 ls_alloy.global_grid, alloy)
+    return host, host_evals, alloy, states, report
+
+
+@pytest.mark.paper_experiment
+def test_bench_fig7_band_edge_states(benchmark, results_dir):
+    host, host_evals, alloy, states, report = benchmark.pedantic(
+        _run_band_edge, rounds=1, iterations=1
+    )
+    nelec = host.total_valence_electrons()
+    nocc = nelec // 2
+    host_gap_ev = float((host_evals[nocc] - host_evals[nocc - 1]) * HARTREE_TO_EV)
+    print("\nFigure 7 / Section VII (model alloy band-edge states):")
+    print(f"  host gap: {host_gap_ev:.2f} eV")
+    for e, ipr, species, ow in zip(report.energies_ev, report.ipr,
+                                   report.dominant_species, report.oxygen_weight):
+        print(f"  state at {e:8.3f} eV  IPR={ipr:.4f}  dominant={species}  O-weight={ow:.2f}")
+    save_records(
+        [ResultRecord("fig7", {
+            "host_gap_ev": host_gap_ev,
+            "state_energies_ev": report.energies_ev.tolist(),
+            "state_ipr": report.ipr.tolist(),
+            "oxygen_weight": report.oxygen_weight.tolist(),
+        })],
+        results_dir / "fig7_band_edge.json",
+    )
+
+    # (i) the host has a gap (LS3DF targets systems with a band gap);
+    assert host_gap_ev > 0.1
+    # (ii) the FSM found well-converged interior states;
+    assert np.all(states.residual_norms < 1e-2)
+    # (iii) at least one band-edge state carries significant oxygen weight
+    #       (the oxygen-induced state of the paper's Figure 7b);
+    assert np.max(report.oxygen_weight) > 0.10
+    # (iv) the oxygen-dominated state is more localised than the most
+    #      delocalised band-edge state (the clustering/localisation claim).
+    o_idx = int(np.argmax(report.oxygen_weight))
+    assert report.ipr[o_idx] >= 0.9 * np.min(report.ipr)
+    assert np.max(report.ipr) / np.min(report.ipr) > 1.05

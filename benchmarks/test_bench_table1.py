@@ -1,0 +1,88 @@
+"""E1 — Table I: Tflop/s and %-of-peak for every run of the paper's table.
+
+Regenerates all 28 rows (Franklin, Jaguar, Intrepid sections) with the
+performance model and compares against the paper's reported numbers.  The
+model is expected to reproduce the *shape*: the ordering of machines, the
+%-peak level per machine, and the droop at very high concurrency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.results import ResultRecord, save_records
+from repro.io.tables import format_table, table1_layout
+from repro.parallel.comm import CommScheme
+from repro.parallel.flops import LS3DFWorkload
+from repro.parallel.machine import FRANKLIN, INTREPID, JAGUAR
+from repro.parallel.perfmodel import LS3DFPerformanceModel
+
+# (machine, scheme, grid, ecut_ry, dims, atoms, cores, Np, paper Tflop/s, paper %peak)
+TABLE1_ROWS = [
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (3, 3, 3), 216, 270, 10, 0.57, 40.4),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (3, 3, 3), 216, 540, 20, 1.14, 40.8),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (3, 3, 3), 216, 1080, 40, 2.27, 40.5),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (4, 4, 4), 512, 1280, 20, 2.64, 39.6),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (5, 5, 5), 1000, 2500, 20, 5.15, 39.6),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (6, 6, 6), 1728, 4320, 20, 8.72, 38.8),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 6, 9), 3456, 1080, 40, 2.28, 40.5),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 6, 9), 3456, 2160, 40, 4.51, 40.2),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 6, 9), 3456, 4320, 40, 8.88, 39.5),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 6, 9), 3456, 8640, 40, 17.04, 37.9),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 6, 9), 3456, 17280, 40, 31.35, 34.9),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 8, 8), 4096, 2560, 20, 5.46, 41.0),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (8, 8, 8), 4096, 10240, 20, 19.72, 37.0),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (10, 10, 8), 6400, 2000, 20, 4.18, 40.2),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (10, 10, 8), 6400, 16000, 20, 29.52, 35.5),
+    (FRANKLIN, CommScheme.COLLECTIVE, 40, 50, (12, 12, 12), 13824, 17280, 10, 32.17, 35.8),
+    (JAGUAR, CommScheme.COLLECTIVE, 40, 50, (8, 8, 6), 3072, 7680, 20, 17.3, 26.8),
+    (JAGUAR, CommScheme.COLLECTIVE, 40, 50, (8, 8, 6), 3072, 15360, 40, 33.0, 25.6),
+    (JAGUAR, CommScheme.COLLECTIVE, 40, 50, (8, 8, 6), 3072, 30720, 80, 53.8, 20.9),
+    (JAGUAR, CommScheme.COLLECTIVE, 40, 50, (8, 6, 9), 3456, 17280, 40, 36.5, 25.2),
+    (JAGUAR, CommScheme.COLLECTIVE, 40, 50, (16, 8, 6), 6144, 15360, 20, 33.6, 26.0),
+    (JAGUAR, CommScheme.COLLECTIVE, 40, 50, (16, 12, 8), 12288, 30720, 20, 60.3, 23.4),
+    (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, (4, 4, 4), 512, 4096, 64, 4.4, 31.6),
+    (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, (8, 4, 4), 1024, 8192, 64, 8.8, 31.5),
+    (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, (8, 8, 4), 2048, 16384, 64, 17.5, 31.4),
+    (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, (8, 8, 8), 4096, 32768, 64, 34.5, 31.1),
+    (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, (16, 8, 8), 8192, 65536, 64, 60.2, 27.1),
+    (INTREPID, CommScheme.POINT_TO_POINT, 32, 40, (16, 16, 8), 16384, 131072, 64, 107.5, 24.2),
+]
+
+
+def _generate_table1():
+    rows = []
+    for machine, scheme, grid, ecut, dims, atoms, cores, npg, paper_tf, paper_pk in TABLE1_ROWS:
+        wl = LS3DFWorkload(dims, grid_per_cell=grid, ecut_ry=ecut)
+        point = LS3DFPerformanceModel(machine, wl, scheme).evaluate(cores, npg)
+        row = point.as_row()
+        row["paper Tflop/s"] = paper_tf
+        row["paper % peak"] = paper_pk
+        rows.append((point, row))
+    return rows
+
+
+@pytest.mark.paper_experiment
+def test_bench_table1(benchmark, results_dir):
+    rows = benchmark.pedantic(_generate_table1, rounds=1, iterations=1)
+    printable = [r for _, r in rows]
+    print("\nTable I (modelled vs paper):")
+    print(format_table(printable, columns=list(table1_layout()) + ["paper Tflop/s", "paper % peak"]))
+    save_records(
+        [ResultRecord("table1", r) for r in printable], results_dir / "table1.json"
+    )
+
+    for point, row in rows:
+        # %peak within 6 percentage points of the paper for every row ...
+        assert abs(row["% peak"] - row["paper % peak"]) < 6.0, row
+        # ... and sustained Tflop/s within a factor of ~1.6.
+        assert 0.6 < row["Tflop/s"] / row["paper Tflop/s"] < 1.6, row
+
+    # Machine-level shape: Franklin sustains the highest fraction of peak,
+    # Jaguar the lowest; Intrepid delivers the highest absolute Tflop/s.
+    franklin = [r for p, r in rows if r["machine"] == "Franklin"]
+    jaguar = [r for p, r in rows if r["machine"] == "Jaguar"]
+    intrepid = [r for p, r in rows if r["machine"] == "Intrepid"]
+    mean = lambda rs, k: sum(r[k] for r in rs) / len(rs)
+    assert mean(franklin, "% peak") > mean(intrepid, "% peak") > mean(jaguar, "% peak")
+    assert max(r["Tflop/s"] for r in intrepid) == max(r["Tflop/s"] for r in printable)

@@ -1,0 +1,112 @@
+"""Parallel scaling study: the paper's performance evaluation end to end.
+
+Part A reproduces the modelled evaluation (Table I, Figures 3-5) for any of
+the three machines; Part B runs a *real* laptop-scale strong-scaling
+measurement by distributing actual fragment solves over worker processes
+with the process-pool executor.
+
+Usage:  python examples/scaling_study.py [--machine franklin|jaguar|intrepid]
+                                         [--workers N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.atoms import cscl_binary
+from repro.core.division import SpatialDivision
+from repro.core.fragments import enumerate_fragments
+from repro.core.passivation import passivate_fragment
+from repro.io import format_table
+from repro.parallel import (
+    DirectDFTCostModel,
+    FragmentScheduler,
+    LS3DFPerformanceModel,
+    LS3DFWorkload,
+    ProcessPoolFragmentExecutor,
+    SerialFragmentExecutor,
+    machine_by_name,
+)
+from repro.parallel.comm import CommScheme
+from repro.parallel.executor import FragmentTask
+from repro.pw.grid import FFTGrid
+
+
+def modelled_evaluation(machine_name: str) -> None:
+    machine = machine_by_name(machine_name)
+    scheme = CommScheme.POINT_TO_POINT if machine.name == "Intrepid" else CommScheme.COLLECTIVE
+    grid, ecut = (32, 40) if machine.name == "Intrepid" else (40, 50)
+    print(f"\n=== Modelled LS3DF performance on {machine.name} ===")
+    rows = []
+    runs = [((4, 4, 4), 2560, 20), ((8, 6, 9), 8640, 40), ((8, 6, 9), 17280, 40)]
+    if machine.name == "Intrepid":
+        runs = [((4, 4, 4), 4096, 64), ((8, 8, 8), 32768, 64), ((16, 16, 8), 131072, 64)]
+    for dims, cores, npg in runs:
+        wl = LS3DFWorkload(dims, grid_per_cell=grid, ecut_ry=ecut)
+        point = LS3DFPerformanceModel(machine, wl, scheme).evaluate(cores, npg)
+        rows.append(point.as_row())
+    print(format_table(rows))
+    direct = DirectDFTCostModel()
+    wl = LS3DFWorkload((12, 12, 12))
+    model = LS3DFPerformanceModel(machine_by_name("franklin"), wl, CommScheme.COLLECTIVE)
+    print(f"LS3DF vs O(N^3) speedup at 13,824 atoms: "
+          f"{direct.speedup_of_ls3df(model, 17280, 10):.0f}x  "
+          f"(crossover ~{direct.crossover_atoms(machine_by_name('franklin'), 320, 20):.0f} atoms)")
+
+
+def real_strong_scaling(max_workers: int) -> None:
+    print("\n=== Real fragment-solve strong scaling (process pool) ===")
+    structure = cscl_binary((2, 2, 1), "Zn", "Se", 6.5)
+    dims = (2, 2, 1)
+    grid = FFTGrid(structure.cell, (20, 20, 10))
+    division = SpatialDivision(structure, dims, grid, 0.5)
+    fragments = enumerate_fragments(dims)
+    tasks = []
+    for frag in fragments:
+        passv = passivate_fragment(division, frag)
+        fgrid = division.fragment_grid(frag)
+        tasks.append(FragmentTask(
+            label=frag.label,
+            cell=tuple(fgrid.cell),
+            grid_shape=fgrid.shape,
+            symbols=passv.structure.symbols,
+            positions=passv.structure.positions,
+            screening_potential=np.zeros(fgrid.shape),
+            ecut=2.2,
+            n_empty=2,
+            tolerance=1e-4,
+            max_iterations=40,
+        ))
+    print(f"{len(tasks)} fragment solves")
+    rows = []
+    baseline = None
+    for workers in [1, 2, max_workers]:
+        executor = SerialFragmentExecutor() if workers == 1 else ProcessPoolFragmentExecutor(workers)
+        report = executor.run(tasks)
+        baseline = baseline or report.wall_time
+        rows.append({
+            "workers": workers,
+            "wall time [s]": round(report.wall_time, 1),
+            "speedup": round(baseline / report.wall_time, 2),
+            "parallel efficiency": round(report.parallel_efficiency, 2),
+        })
+    print(format_table(rows))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--machine", default="franklin",
+                        choices=["franklin", "jaguar", "intrepid"])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--skip-real", action="store_true",
+                        help="only run the modelled evaluation")
+    args = parser.parse_args()
+    modelled_evaluation(args.machine)
+    if not args.skip_real:
+        real_strong_scaling(args.workers)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that the package installs in offline
+environments whose setuptools predates PEP 660 editable wheels
+(``pip install -e . --no-build-isolation`` then uses the legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "LS3DF: linearly scaling 3D fragment method for large-scale "
+        "electronic structure calculations (SC'08 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

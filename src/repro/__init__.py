@@ -1,0 +1,30 @@
+"""repro — reproduction of the LS3DF linearly scaling 3D fragment method.
+
+Public API highlights
+---------------------
+* :class:`repro.core.LS3DF` — the LS3DF solver (divide-and-conquer DFT).
+* :class:`repro.pw.DirectSCF` — the conventional O(N^3) plane-wave solver.
+* :mod:`repro.atoms` — zinc-blende / alloy builders and the Keating VFF.
+* :mod:`repro.parallel` — machine models reproducing the paper's
+  performance evaluation (Table I, Figures 3-5).
+* :mod:`repro.analysis` — band-edge state analysis (Figure 7).
+"""
+
+from repro import analysis, atoms, core, io, parallel, pw
+from repro.core import LS3DF, compare_ls3df_to_direct
+from repro.pw import DirectSCF
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "atoms",
+    "core",
+    "io",
+    "parallel",
+    "pw",
+    "LS3DF",
+    "DirectSCF",
+    "compare_ls3df_to_direct",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Post-processing analysis of LS3DF results (band-edge states, spectra)."""
+
+from repro.analysis.states import (
+    inverse_participation_ratio,
+    localization_report,
+    band_structure_summary,
+    oxygen_band_analysis,
+)
+
+__all__ = [
+    "inverse_participation_ratio",
+    "localization_report",
+    "band_structure_summary",
+    "oxygen_band_analysis",
+]

@@ -1,0 +1,32 @@
+"""Atomistic substrate: structures, crystal builders, neighbours and VFF.
+
+This subpackage provides everything the LS3DF driver needs to describe the
+physical systems of the paper: periodic supercells of zinc-blende
+semiconductors, random-substitution alloys such as ZnTe(1-x)O(x), periodic
+neighbour lists, and the Keating valence force field (VFF) used by the
+authors to relax the alloy geometries before the electronic-structure
+calculation.
+"""
+
+from repro.atoms.structure import Atom, Species, Structure
+from repro.atoms.zincblende import zincblende_unit_cell, zincblende_supercell
+from repro.atoms.alloy import substitute_anions, build_znteo_alloy
+from repro.atoms.neighbors import NeighborList, build_neighbor_list
+from repro.atoms.vff import KeatingVFF, relax_structure
+from repro.atoms.toy import cscl_binary, simple_cubic
+
+__all__ = [
+    "Atom",
+    "Species",
+    "Structure",
+    "zincblende_unit_cell",
+    "zincblende_supercell",
+    "substitute_anions",
+    "build_znteo_alloy",
+    "NeighborList",
+    "build_neighbor_list",
+    "KeatingVFF",
+    "relax_structure",
+    "cscl_binary",
+    "simple_cubic",
+]

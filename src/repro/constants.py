@@ -1,0 +1,51 @@
+"""Physical constants and unit conversions used throughout the LS3DF code.
+
+The plane-wave solver works internally in Hartree atomic units
+(energies in Hartree, lengths in Bohr).  The atomistic builders accept
+Angstrom for convenience and convert on construction.  Conversion factors
+follow CODATA 2018 to the precision relevant for a model solver.
+"""
+
+from __future__ import annotations
+
+# --- energy -----------------------------------------------------------------
+HARTREE_TO_EV: float = 27.211386245988
+"""One Hartree in electron volts."""
+
+EV_TO_HARTREE: float = 1.0 / HARTREE_TO_EV
+"""One electron volt in Hartree."""
+
+RYDBERG_TO_HARTREE: float = 0.5
+"""One Rydberg in Hartree (exact)."""
+
+HARTREE_TO_RYDBERG: float = 2.0
+"""One Hartree in Rydberg (exact)."""
+
+HARTREE_TO_MEV: float = HARTREE_TO_EV * 1000.0
+"""One Hartree in milli-electron-volts."""
+
+# --- length -----------------------------------------------------------------
+BOHR_TO_ANGSTROM: float = 0.529177210903
+"""One Bohr radius in Angstrom."""
+
+ANGSTROM_TO_BOHR: float = 1.0 / BOHR_TO_ANGSTROM
+"""One Angstrom in Bohr radii."""
+
+# --- misc -------------------------------------------------------------------
+KB_HARTREE_PER_K: float = 3.166811563e-6
+"""Boltzmann constant in Hartree per Kelvin."""
+
+FOUR_PI: float = 12.566370614359172
+"""4*pi, used in the Poisson equation in Gaussian/atomic units."""
+
+# Lattice constants (Angstrom) of the zinc-blende materials used in the
+# paper's test systems.  ZnTe is the host of the ZnTe(1-x)O(x) alloy;
+# CdSe appears in the 2000-atom quantum-rod optimization benchmark.
+ZINCBLENDE_LATTICE_CONSTANTS_ANG = {
+    "ZnTe": 6.1034,
+    "ZnO": 4.62,     # hypothetical zinc-blende ZnO
+    "CdSe": 6.052,
+    "ZnS": 5.4102,
+    "GaAs": 5.6533,
+    "Si": 5.4310,
+}

@@ -1,0 +1,316 @@
+"""The LS3DF outer self-consistent loop (Figure 2 of the paper).
+
+Every iteration performs the four steps Gen_VF -> PEtot_F -> Gen_dens ->
+GENPOT.  Fragment solves are independent of each other — the property the
+paper exploits for near-perfect parallel scaling — so they may optionally
+be dispatched to a process pool (:mod:`repro.parallel.executor`); the
+algorithmic driver here is agnostic to how they are executed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.core.division import SpatialDivision
+from repro.core.fragment_solver import FragmentSolveResult, FragmentSolver
+from repro.core.fragments import Fragment, enumerate_fragments
+from repro.core.genpot import GlobalPotentialSolver
+from repro.core.patching import patch_fragment_fields, restrict_to_fragment
+from repro.pw.grid import FFTGrid
+from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotentials
+
+
+@dataclass
+class IterationTimings:
+    """Wall-clock split of one LS3DF iteration over the paper's four steps."""
+
+    gen_vf: float = 0.0
+    petot_f: float = 0.0
+    gen_dens: float = 0.0
+    genpot: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.gen_vf + self.petot_f + self.gen_dens + self.genpot
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Gen_VF": self.gen_vf,
+            "PEtot_F": self.petot_f,
+            "Gen_dens": self.gen_dens,
+            "GENPOT": self.genpot,
+            "total": self.total,
+        }
+
+
+@dataclass
+class LS3DFResult:
+    """Outcome of an LS3DF self-consistent calculation.
+
+    Attributes
+    ----------
+    density:
+        Converged global electron density (patched).
+    potential:
+        Converged global screening potential (V_es + V_xc).
+    total_energy:
+        Patched total energy E = sum_F alpha_F E_F^quantum + E_es + E_xc
+        - E_self (Hartree a.u.).
+    quantum_energy:
+        The patched fragment quantum-energy part alone.
+    converged:
+        True when the potential metric dropped below tolerance.
+    iterations:
+        Number of outer iterations performed.
+    convergence_history:
+        integral |V_out - V_in| d^3r per iteration (the paper's Fig. 6).
+    energy_history:
+        Total energy per iteration.
+    fragment_results:
+        Final-iteration per-fragment solve results.
+    timings:
+        Per-iteration four-subroutine wall-clock timings.
+    nfragments:
+        Number of fragments.
+    """
+
+    density: np.ndarray
+    potential: np.ndarray
+    total_energy: float
+    quantum_energy: float
+    converged: bool
+    iterations: int
+    convergence_history: list[float] = field(default_factory=list)
+    energy_history: list[float] = field(default_factory=list)
+    fragment_results: list[FragmentSolveResult] = field(default_factory=list)
+    timings: list[IterationTimings] = field(default_factory=list)
+    nfragments: int = 0
+
+
+class LS3DFSCF:
+    """LS3DF self-consistent field driver.
+
+    Parameters
+    ----------
+    structure:
+        Global periodic supercell.
+    grid_dims:
+        Fragment grid ``(m1, m2, m3)``.
+    ecut:
+        Plane-wave cutoff for the fragment solves (Hartree).
+    global_grid:
+        Global FFT grid; chosen automatically (divisible by ``grid_dims``)
+        when omitted.
+    pseudopotentials:
+        Model pseudopotential set.
+    buffer_cells:
+        Fragment buffer size as a fraction of a cell (see SpatialDivision).
+    n_empty:
+        Extra empty bands per fragment.
+    mixer, mixer_options:
+        Global potential mixing scheme (GENPOT step).
+    eigensolver:
+        Fragment eigensolver algorithm.
+    passivate, polar_passivation:
+        Fragment surface passivation options.
+    fragment_map:
+        Optional callable ``(solve_tasks) -> results`` used to execute the
+        independent fragment solves (e.g. a multiprocessing pool map); the
+        default executes them serially in-process.
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        grid_dims: Sequence[int],
+        ecut: float = 4.0,
+        global_grid: FFTGrid | None = None,
+        pseudopotentials: PseudopotentialSet | None = None,
+        buffer_cells: float = 0.5,
+        n_empty: int = 2,
+        mixer: str = "kerker",
+        mixer_options: dict | None = None,
+        eigensolver: str = "all_band",
+        passivate: bool = True,
+        polar_passivation: bool = True,
+        points_per_bohr: float | None = None,
+    ) -> None:
+        self.structure = structure
+        self.grid_dims = tuple(int(m) for m in grid_dims)
+        self.pseudopotentials = pseudopotentials or default_pseudopotentials()
+        self.ecut = float(ecut)
+        if global_grid is None:
+            global_grid = self._default_grid(points_per_bohr)
+        self.global_grid = global_grid
+        self.division = SpatialDivision(
+            structure, self.grid_dims, global_grid, buffer_cells
+        )
+        self.fragments: list[Fragment] = enumerate_fragments(self.grid_dims)
+        self.fragment_solver = FragmentSolver(
+            self.division,
+            self.pseudopotentials,
+            ecut=self.ecut,
+            n_empty=n_empty,
+            eigensolver=eigensolver,
+            passivate=passivate,
+            polar_passivation=polar_passivation,
+        )
+        self.genpot = GlobalPotentialSolver(
+            structure,
+            global_grid,
+            self.pseudopotentials,
+            mixer=mixer,
+            mixer_options=mixer_options,
+        )
+
+    # ------------------------------------------------------------------
+    def _default_grid(self, points_per_bohr: float | None) -> FFTGrid:
+        """Global grid whose axes divide evenly into the fragment grid."""
+        if points_per_bohr is None:
+            gmax = np.sqrt(2.0 * self.ecut)
+            points_per_bohr = max(1.2, 2.0 * gmax / np.pi * 1.05)
+        cell = self.structure.cell
+        shape = []
+        for c, m in zip(cell, self.grid_dims):
+            per_cell = max(4, int(np.ceil(c / m * points_per_bohr)))
+            if per_cell % 2:
+                per_cell += 1
+            shape.append(per_cell * m)
+        return FFTGrid(cell, shape)
+
+    @property
+    def nfragments(self) -> int:
+        return len(self.fragments)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_iterations: int = 30,
+        potential_tolerance: float = 1e-3,
+        eigensolver_tolerance: float = 1e-5,
+        eigensolver_iterations: int = 60,
+        initial_potential: np.ndarray | None = None,
+        callback: Callable[[int, float, float], None] | None = None,
+        verbose: bool = False,
+    ) -> LS3DFResult:
+        """Run the LS3DF outer loop.
+
+        Parameters
+        ----------
+        max_iterations:
+            Maximum number of outer (potential) iterations; the paper's
+            production runs use ~60.
+        potential_tolerance:
+            Convergence threshold on integral |V_out - V_in| d^3r (a.u.).
+        eigensolver_tolerance, eigensolver_iterations:
+            Passed to the fragment eigensolver.
+        initial_potential:
+            Optional starting input potential (defaults to the neutral-atom
+            guess).
+        callback:
+            Optional ``callback(iteration, potential_difference, energy)``.
+        verbose:
+            Print per-iteration progress.
+        """
+        self.genpot.reset()
+        v_in = (
+            initial_potential.copy()
+            if initial_potential is not None
+            else self.genpot.initial_potential()
+        )
+        if v_in.shape != self.global_grid.shape:
+            raise ValueError("initial potential shape mismatch")
+
+        conv_history: list[float] = []
+        energy_history: list[float] = []
+        timings: list[IterationTimings] = []
+        frag_results: list[FragmentSolveResult] = []
+        converged = False
+        density = np.zeros(self.global_grid.shape)
+        total_energy = 0.0
+        quantum_energy = 0.0
+        iteration = 0
+
+        for iteration in range(1, max_iterations + 1):
+            t = IterationTimings()
+
+            # --- Gen_VF: restrict the global potential to every fragment box.
+            t0 = time.perf_counter()
+            restricted = [
+                restrict_to_fragment(self.division, f, v_in) for f in self.fragments
+            ]
+            t.gen_vf = time.perf_counter() - t0
+
+            # --- PEtot_F: solve every fragment (independent problems).
+            t0 = time.perf_counter()
+            frag_results = [
+                self.fragment_solver.solve_fragment(
+                    f,
+                    r,
+                    eigensolver_tolerance=eigensolver_tolerance,
+                    eigensolver_iterations=eigensolver_iterations,
+                )
+                for f, r in zip(self.fragments, restricted)
+            ]
+            t.petot_f = time.perf_counter() - t0
+
+            # --- Gen_dens: patch the fragment densities into the global one.
+            t0 = time.perf_counter()
+            density = patch_fragment_fields(
+                self.division,
+                self.fragments,
+                [res.density for res in frag_results],
+            )
+            t.gen_dens = time.perf_counter() - t0
+
+            # --- GENPOT: global Poisson + XC + mixing.
+            t0 = time.perf_counter()
+            out = self.genpot.evaluate(density, v_in)
+            density = out.density
+            t.genpot = time.perf_counter() - t0
+            timings.append(t)
+
+            quantum_energy = float(
+                sum(res.fragment.weight * res.quantum_energy for res in frag_results)
+            )
+            total_energy = (
+                quantum_energy
+                + out.electrostatic_energy
+                + out.xc_energy
+                - self.genpot.ionic_self_energy
+            )
+            conv_history.append(out.potential_difference)
+            energy_history.append(total_energy)
+            if callback is not None:
+                callback(iteration, out.potential_difference, total_energy)
+            if verbose:  # pragma: no cover - logging
+                print(
+                    f"LS3DF {iteration:3d}: |Vout-Vin| = {out.potential_difference:.3e}"
+                    f"  E = {total_energy:.6f} Ha"
+                    f"  (VF {t.gen_vf:.2f}s  F {t.petot_f:.2f}s"
+                    f"  dens {t.gen_dens:.2f}s  pot {t.genpot:.2f}s)"
+                )
+            if out.potential_difference < potential_tolerance:
+                converged = True
+                v_in = out.output_potential
+                break
+            v_in = out.next_input_potential
+
+        return LS3DFResult(
+            density=density,
+            potential=v_in,
+            total_energy=total_energy,
+            quantum_energy=quantum_energy,
+            converged=converged,
+            iterations=iteration,
+            convergence_history=conv_history,
+            energy_history=energy_history,
+            fragment_results=frag_results,
+            timings=timings,
+            nfragments=self.nfragments,
+        )

@@ -1,0 +1,15 @@
+"""Result records, table formatting and grid-data export."""
+
+from repro.io.results import ResultRecord, save_records, load_records
+from repro.io.tables import format_table, table1_layout
+from repro.io.gridio import write_cube_like, write_grid_npz
+
+__all__ = [
+    "ResultRecord",
+    "save_records",
+    "load_records",
+    "format_table",
+    "table1_layout",
+    "write_cube_like",
+    "write_grid_npz",
+]

@@ -1,0 +1,55 @@
+"""Lightweight result records with JSON persistence.
+
+The benchmark harness writes every experiment's rows to JSON so the
+EXPERIMENTS.md numbers can be regenerated and traced back to a run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Convert numpy scalars/arrays to plain Python types for JSON."""
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class ResultRecord:
+    """One experiment result: an identifier plus arbitrary key/value data."""
+
+    experiment: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"experiment": self.experiment, "data": _to_jsonable(self.data)}
+
+
+def save_records(records: Iterable[ResultRecord], path: str | Path) -> Path:
+    """Write records to a JSON file (creating parent directories)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [r.as_dict() for r in records]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_records(path: str | Path) -> list[ResultRecord]:
+    """Read records previously written by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text())
+    return [ResultRecord(experiment=e["experiment"], data=e["data"]) for e in payload]

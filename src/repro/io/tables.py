@@ -1,0 +1,62 @@
+"""Plain-text table formatting for the benchmark harness output.
+
+The benchmarks print the same rows the paper's Table I reports
+(system size, atoms, cores, Np, Tflop/s, % peak); this module renders
+those row dictionaries as aligned monospace tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+TABLE1_COLUMNS: tuple[str, ...] = (
+    "machine",
+    "system",
+    "atoms",
+    "cores",
+    "Np",
+    "Tflop/s",
+    "% peak",
+)
+
+
+def table1_layout() -> tuple[str, ...]:
+    """Column order of the paper's Table I (plus the machine column)."""
+    return TABLE1_COLUMNS
+
+
+def format_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of mappings; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    float_format:
+        Format applied to float cells.
+    """
+    rows = [dict(r) for r in rows]
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return "" if value is None else str(value)
+
+    cells = [[render(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(str(c)), *(len(row[i]) for row in cells)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(str(c).rjust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(r[i].rjust(widths[i]) for i in range(len(columns))) for r in cells)
+    return f"{header}\n{sep}\n{body}"

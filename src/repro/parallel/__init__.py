@@ -1,0 +1,57 @@
+"""Parallel-machine substrate: the paper's performance evaluation, modelled.
+
+The paper's evaluation (Table I, Figures 3-5) was produced on three
+2008-era DOE machines — Franklin and Jaguar (Cray XT4) and Intrepid
+(BlueGene/P) — with up to 131,072 cores.  None of that hardware is
+available here, so this subpackage reproduces the evaluation through an
+explicit execution model:
+
+* :mod:`repro.parallel.machine`   — machine descriptions (cores, clock,
+  flops/cycle, memory, network latency/bandwidth) for the three systems;
+* :mod:`repro.parallel.groups`    — processor-group decomposition (Np cores
+  per group, Ng groups) used by PEtot_F;
+* :mod:`repro.parallel.scheduler` — assignment of fragments to groups with
+  load balancing;
+* :mod:`repro.parallel.flops`     — analytic floating-point operation counts
+  of the four LS3DF kernels for a given physical problem;
+* :mod:`repro.parallel.comm`      — communication cost models for the three
+  generations of Gen_VF / Gen_dens data movement (file I/O, collective
+  MPI, point-to-point isend/irecv);
+* :mod:`repro.parallel.perfmodel` — the execution model that combines all of
+  the above into per-iteration times, Tflop/s and %-of-peak figures;
+* :mod:`repro.parallel.amdahl`    — Amdahl's-law fitting used for Figure 3;
+* :mod:`repro.parallel.executor`  — a *real* process-pool executor for
+  running actual fragment solves concurrently on local cores.
+"""
+
+from repro.parallel.machine import Machine, FRANKLIN, JAGUAR, INTREPID, machine_by_name
+from repro.parallel.groups import GroupDecomposition
+from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
+from repro.parallel.flops import LS3DFWorkload, FragmentWork
+from repro.parallel.comm import CommunicationModel, CommScheme
+from repro.parallel.perfmodel import LS3DFPerformanceModel, PerformancePoint, DirectDFTCostModel
+from repro.parallel.amdahl import amdahl_speedup, fit_amdahl, AmdahlFit
+from repro.parallel.executor import ProcessPoolFragmentExecutor, SerialFragmentExecutor
+
+__all__ = [
+    "Machine",
+    "FRANKLIN",
+    "JAGUAR",
+    "INTREPID",
+    "machine_by_name",
+    "GroupDecomposition",
+    "FragmentScheduler",
+    "ScheduleSummary",
+    "LS3DFWorkload",
+    "FragmentWork",
+    "CommunicationModel",
+    "CommScheme",
+    "LS3DFPerformanceModel",
+    "PerformancePoint",
+    "DirectDFTCostModel",
+    "amdahl_speedup",
+    "fit_amdahl",
+    "AmdahlFit",
+    "ProcessPoolFragmentExecutor",
+    "SerialFragmentExecutor",
+]

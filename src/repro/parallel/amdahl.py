@@ -1,0 +1,110 @@
+"""Amdahl's-law analysis of the strong-scaling data (paper Figure 3).
+
+The paper fits its strong-scaling measurements to
+
+    P_p = P_s * n / (1 + (n - 1) * alpha)
+
+where ``P_p`` is the parallel performance on ``n`` cores, ``P_s`` the
+effective single-core performance and ``alpha`` the serial fraction.  The
+fit quality reported is an average absolute relative deviation of 0.26%
+with serial fractions of 1/362,000 (PEtot_F) and 1/101,000 (LS3DF overall).
+This module provides the model function and the least-squares fit used by
+the Figure-3 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+
+def amdahl_speedup(n: np.ndarray | float, alpha: float) -> np.ndarray | float:
+    """Speedup of ``n`` cores for serial fraction ``alpha`` (Amdahl's law)."""
+    n = np.asarray(n, dtype=float)
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    out = n / (1.0 + (n - 1.0) * alpha)
+    return out if out.ndim else float(out)
+
+
+def amdahl_performance(
+    n: np.ndarray | float, single_core_performance: float, alpha: float
+) -> np.ndarray | float:
+    """Aggregate performance  P_p = P_s * n / (1 + (n-1) alpha)."""
+    return single_core_performance * amdahl_speedup(n, alpha)
+
+
+@dataclass
+class AmdahlFit:
+    """Result of fitting Amdahl's law to measured performance data.
+
+    Attributes
+    ----------
+    single_core_performance:
+        Fitted P_s (same unit as the input performance values).
+    serial_fraction:
+        Fitted alpha.
+    mean_absolute_relative_deviation:
+        The paper's fit-quality metric, mean |P_fit / P_meas - 1|.
+    max_absolute_relative_deviation:
+        The worst-case deviation.
+    """
+
+    single_core_performance: float
+    serial_fraction: float
+    mean_absolute_relative_deviation: float
+    max_absolute_relative_deviation: float
+
+    @property
+    def inverse_serial_fraction(self) -> float:
+        """1 / alpha — the form the paper quotes (e.g. 1/101,000)."""
+        if self.serial_fraction <= 0:
+            return float("inf")
+        return 1.0 / self.serial_fraction
+
+    def predict(self, cores: np.ndarray | float) -> np.ndarray | float:
+        return amdahl_performance(cores, self.single_core_performance, self.serial_fraction)
+
+
+def fit_amdahl(cores: np.ndarray, performance: np.ndarray) -> AmdahlFit:
+    """Least-squares fit of Amdahl's law to (cores, performance) data.
+
+    Parameters
+    ----------
+    cores:
+        Core counts of the measurements (>= 2 distinct values required).
+    performance:
+        Measured aggregate performance (e.g. Tflop/s) at those core counts.
+
+    Returns
+    -------
+    AmdahlFit
+    """
+    cores = np.asarray(cores, dtype=float)
+    performance = np.asarray(performance, dtype=float)
+    if cores.shape != performance.shape or cores.size < 2:
+        raise ValueError("need at least two (cores, performance) points")
+    if np.any(cores <= 0) or np.any(performance <= 0):
+        raise ValueError("cores and performance must be positive")
+
+    # Initial guesses: P_s from the smallest run, alpha tiny.
+    p_s0 = performance[np.argmin(cores)] / cores[np.argmin(cores)]
+    x0 = np.array([p_s0, 1e-5])
+
+    def residuals(x: np.ndarray) -> np.ndarray:
+        p_s, alpha = x
+        alpha = abs(alpha)
+        model = amdahl_performance(cores, p_s, alpha)
+        return (model - performance) / performance
+
+    sol = least_squares(residuals, x0, method="lm", max_nfev=10_000)
+    p_s, alpha = float(sol.x[0]), float(abs(sol.x[1]))
+    rel_dev = np.abs(amdahl_performance(cores, p_s, alpha) / performance - 1.0)
+    return AmdahlFit(
+        single_core_performance=p_s,
+        serial_fraction=alpha,
+        mean_absolute_relative_deviation=float(np.mean(rel_dev)),
+        max_absolute_relative_deviation=float(np.max(rel_dev)),
+    )

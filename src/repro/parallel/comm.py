@@ -1,0 +1,106 @@
+"""Communication cost models for Gen_VF / Gen_dens / GENPOT.
+
+The paper describes three generations of the LS3DF data-movement layer:
+
+1. **file I/O** — the proof-of-concept version passed fragment potentials
+   and densities through the parallel filesystem (tens of seconds per
+   iteration at scale);
+2. **collective MPI** — data held in memory (the "LS3DF global module") and
+   exchanged with collective operations, whose cost grows with the core
+   count (the residual efficiency droop seen on Franklin/Jaguar at high
+   concurrency, Section VI);
+3. **point-to-point isend/irecv** — the final version used on Intrepid,
+   where Gen_VF + Gen_dens together are under 2% of the iteration time.
+
+:class:`CommunicationModel` turns a data volume and a core count into a
+time estimate for each scheme, so the benchmark harness can reproduce both
+the optimisation table of Section IV and the high-concurrency efficiency
+behaviour of Figures 3-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.parallel.machine import Machine
+
+
+class CommScheme(str, Enum):
+    """The three generations of the LS3DF communication layer."""
+
+    FILE_IO = "file_io"
+    COLLECTIVE = "collective"
+    POINT_TO_POINT = "point_to_point"
+
+
+@dataclass
+class CommunicationModel:
+    """Cost model for moving fragment data between groups and the global grid.
+
+    Parameters
+    ----------
+    machine:
+        The machine whose network/filesystem parameters are used.
+    scheme:
+        Which generation of the communication layer to model.
+    """
+
+    machine: Machine
+    scheme: CommScheme = CommScheme.POINT_TO_POINT
+
+    # ------------------------------------------------------------------
+    def transfer_time(self, data_bytes: float, cores: int) -> float:
+        """Seconds to move ``data_bytes`` of fragment boundary data on ``cores`` cores.
+
+        The volume is the total over all fragments; the effective
+        concurrency of the transfer and the per-message overheads depend on
+        the scheme.
+        """
+        if data_bytes < 0:
+            raise ValueError("data volume must be non-negative")
+        if cores < 1:
+            raise ValueError("cores must be positive")
+        m = self.machine
+        nodes = max(1, cores // m.cores_per_node)
+
+        if self.scheme is CommScheme.FILE_IO:
+            # Everything funnels through the shared filesystem: aggregate
+            # bandwidth is fixed, and metadata costs grow with the number
+            # of files (one per fragment per quantity ~ proportional to cores).
+            bandwidth = m.file_io_bandwidth_gbs * 1e9
+            metadata = 2.0e-3 * cores  # file create/open/close costs
+            return data_bytes / bandwidth + metadata
+
+        if self.scheme is CommScheme.COLLECTIVE:
+            # In-memory collective exchange: per-node bandwidth in parallel,
+            # but the collective's software overhead grows ~ cores * log(cores)
+            # (the behaviour that throttled Franklin/Jaguar at >10k cores).
+            bandwidth = m.network_bandwidth_gbs * 1e9 * nodes * 0.5
+            overhead = m.network_latency_us * 1e-6 * cores * np.log2(max(2, cores)) * 1.2
+            return data_bytes / bandwidth + overhead
+
+        # POINT_TO_POINT: each group exchanges only with the ranks owning its
+        # part of the global grid; messages overlap, overhead ~ log(cores).
+        bandwidth = m.network_bandwidth_gbs * 1e9 * nodes * 0.8
+        overhead = m.network_latency_us * 1e-6 * np.log2(max(2, cores)) * 40.0
+        return data_bytes / bandwidth + overhead
+
+    # ------------------------------------------------------------------
+    def allreduce_time(self, data_bytes: float, cores: int) -> float:
+        """Time of a global reduction of ``data_bytes`` over ``cores`` cores."""
+        if cores < 1:
+            raise ValueError("cores must be positive")
+        m = self.machine
+        nodes = max(1, cores // m.cores_per_node)
+        stages = np.log2(max(2, nodes))
+        bandwidth = m.network_bandwidth_gbs * 1e9
+        return stages * (m.network_latency_us * 1e-6 + data_bytes / max(bandwidth, 1.0) / nodes)
+
+    def barrier_time(self, cores: int) -> float:
+        """Synchronisation cost of a barrier over ``cores`` cores."""
+        if cores < 1:
+            raise ValueError("cores must be positive")
+        return self.machine.network_latency_us * 1e-6 * np.log2(max(2, cores))

@@ -1,0 +1,210 @@
+"""Analytic floating-point operation counts of the LS3DF kernels.
+
+The paper converts measured wall-clock times into Tflop/s using CrayPat
+operation counts (and, for the largest problems, an extrapolation from the
+per-fragment counts that was verified to be within 1% of measurement).
+This module plays the same role for the performance model: it computes,
+from the physical problem parameters, how many floating-point operations
+one self-consistent iteration of LS3DF performs in each of the four
+subroutines, broken down by fragment size class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.core.fragments import fragment_weight
+
+
+@dataclass(frozen=True)
+class FragmentWork:
+    """Work content of one fragment of a given size class.
+
+    Attributes
+    ----------
+    size:
+        Fragment size in cells, e.g. ``(2, 1, 1)``.
+    natoms:
+        Number of (real + passivation) atoms.
+    nbands:
+        Number of bands solved.
+    nplanewaves:
+        Plane waves in the fragment basis.
+    grid_points:
+        Real-space grid points of the fragment box.
+    flops_per_iteration:
+        Floating-point operations for one LS3DF outer iteration's solve of
+        this fragment (all conjugate-gradient steps included).
+    """
+
+    size: tuple[int, int, int]
+    natoms: float
+    nbands: float
+    nplanewaves: float
+    grid_points: float
+    flops_per_iteration: float
+
+
+class LS3DFWorkload:
+    """Physical problem description and its operation counts.
+
+    Parameters
+    ----------
+    supercell_dims:
+        ``(m1, m2, m3)`` in eight-atom cells (the fragment grid).
+    atoms_per_cell:
+        Atoms in the smallest fragment cell (8 for the paper's systems).
+    electrons_per_atom:
+        Average valence electrons per atom (4 for ZnTeO without Zn d).
+    grid_per_cell:
+        Real-space grid points per cell axis (40 on Franklin/Jaguar,
+        32 on Intrepid).
+    ecut_ry:
+        Plane-wave cutoff in Rydberg (50 or 40).
+    buffer_fraction:
+        Fragment buffer as a fraction of a cell on each side.
+    cg_steps_per_iteration:
+        Conjugate-gradient steps performed per band per outer iteration.
+    passivation_atoms_per_surface_cell:
+        Extra pseudo-H atoms per exposed cell face (bookkeeping only).
+    """
+
+    def __init__(
+        self,
+        supercell_dims: tuple[int, int, int],
+        atoms_per_cell: int = 8,
+        electrons_per_atom: float = 4.0,
+        grid_per_cell: int = 40,
+        ecut_ry: float = 50.0,
+        buffer_fraction: float = 0.5,
+        cg_steps_per_iteration: int = 13,
+        passivation_atoms_per_surface_cell: float = 4.0,
+        cell_edge_bohr: float = 11.53,
+    ) -> None:
+        dims = tuple(int(m) for m in supercell_dims)
+        if len(dims) != 3 or any(m < 1 for m in dims):
+            raise ValueError("supercell_dims must be three positive integers")
+        self.supercell_dims = dims
+        self.atoms_per_cell = int(atoms_per_cell)
+        self.electrons_per_atom = float(electrons_per_atom)
+        self.grid_per_cell = int(grid_per_cell)
+        self.ecut_ry = float(ecut_ry)
+        self.buffer_fraction = float(buffer_fraction)
+        self.cg_steps = int(cg_steps_per_iteration)
+        self.passivation_per_face = float(passivation_atoms_per_surface_cell)
+        self.cell_edge_bohr = float(cell_edge_bohr)
+
+    # -- problem sizes -----------------------------------------------------
+    @property
+    def ncells(self) -> int:
+        return int(np.prod(self.supercell_dims))
+
+    @property
+    def natoms(self) -> int:
+        return self.ncells * self.atoms_per_cell
+
+    @property
+    def nfragments(self) -> int:
+        """8 fragments per grid corner (the paper's count)."""
+        per_corner = int(
+            np.prod([1 if m == 1 else 2 for m in (2, 2, 2)])
+        )  # = 8 for the standard 3D case
+        return per_corner * self.ncells
+
+    @property
+    def global_grid_points(self) -> int:
+        return self.ncells * self.grid_per_cell**3
+
+    def planewaves_per_cell(self) -> float:
+        """Plane waves within the cutoff sphere per eight-atom cell.
+
+        npw = Omega * (2 Ecut)^{3/2} / (6 pi^2) with Ecut in Hartree and
+        Omega the eight-atom cell volume (edge 11.53 Bohr for ZnTe); for the
+        paper's 50 Ry cutoff this evaluates to ~9,200 plane waves per cell.
+        """
+        ecut_ha = 0.5 * self.ecut_ry
+        volume = self.cell_edge_bohr**3
+        return volume * (2.0 * ecut_ha) ** 1.5 / (6.0 * np.pi**2)
+
+    def bands_per_cell(self) -> float:
+        """Occupied + a few empty bands per cell."""
+        return self.atoms_per_cell * self.electrons_per_atom / 2.0 * 1.10
+
+    # -- per-fragment work ----------------------------------------------------
+    def fragment_work(self, size: tuple[int, int, int]) -> FragmentWork:
+        """Work content of one fragment of the given size class."""
+        size = tuple(int(s) for s in size)
+        ncells = int(np.prod(size))
+        # Buffered box volume relative to the bare fragment region.
+        box_cells = float(np.prod([s + 2.0 * self.buffer_fraction for s in size]))
+        natoms = ncells * self.atoms_per_cell
+        # Exposed surface cells ~ passivation atom count (bookkeeping).
+        surface_cells = 2.0 * (
+            size[0] * size[1] + size[1] * size[2] + size[0] * size[2]
+        )
+        natoms_pass = natoms + self.passivation_per_face * surface_cells
+        nbands = self.bands_per_cell() * ncells
+        npw = self.planewaves_per_cell() * box_cells
+        grid_points = self.grid_per_cell**3 * box_cells
+
+        # Per CG step and per band: one FFT pair over the box grid plus the
+        # BLAS-3 nonlocal/orthogonalisation/subspace work.
+        fft_flops = 2.0 * 5.0 * grid_points * np.log2(max(grid_points, 2))
+        nproj = natoms_pass  # one KB projector per atom
+        blas3_flops = 8.0 * npw * (nproj + 2.0 * nbands)
+        per_band_step = fft_flops + blas3_flops
+        # Subspace diagonalisation per outer CG step: O(nbands^2 npw).
+        subspace = 8.0 * nbands * nbands * npw / max(self.cg_steps, 1)
+        flops = self.cg_steps * (nbands * per_band_step + subspace)
+        return FragmentWork(
+            size=size,
+            natoms=natoms_pass,
+            nbands=nbands,
+            nplanewaves=npw,
+            grid_points=grid_points,
+            flops_per_iteration=flops,
+        )
+
+    def fragment_size_classes(self) -> dict[tuple[int, int, int], int]:
+        """Number of fragments of each size class in the whole system."""
+        counts: dict[tuple[int, int, int], int] = {}
+        for size in product((1, 2), repeat=3):
+            counts[size] = counts.get(size, 0) + self.ncells
+        return counts
+
+    def all_fragment_work(self) -> list[tuple[FragmentWork, int, int]]:
+        """(work, count, weight) per fragment size class."""
+        out = []
+        for size, count in self.fragment_size_classes().items():
+            out.append((self.fragment_work(size), count, fragment_weight(size)))
+        return out
+
+    # -- aggregate counts -----------------------------------------------------
+    def petot_f_flops(self) -> float:
+        """Total PEtot_F flops for one LS3DF outer iteration."""
+        return float(
+            sum(work.flops_per_iteration * count for work, count, _ in self.all_fragment_work())
+        )
+
+    def genpot_flops(self) -> float:
+        """GENPOT flops: global FFT Poisson solve + XC evaluation."""
+        n = self.global_grid_points
+        return float(2.0 * 5.0 * n * np.log2(max(n, 2)) + 60.0 * n)
+
+    def gen_vf_data_bytes(self) -> float:
+        """Bytes moved by Gen_VF (global potential -> all fragment boxes)."""
+        total_box_points = sum(
+            work.grid_points * count for work, count, _ in self.all_fragment_work()
+        )
+        return 8.0 * float(total_box_points)
+
+    def gen_dens_data_bytes(self) -> float:
+        """Bytes moved by Gen_dens (all fragment densities -> global grid)."""
+        return self.gen_vf_data_bytes()
+
+    def total_flops_per_iteration(self) -> float:
+        """All useful flops of one LS3DF outer iteration."""
+        return self.petot_f_flops() + self.genpot_flops()

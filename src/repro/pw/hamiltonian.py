@@ -1,0 +1,205 @@
+"""Kohn-Sham Hamiltonian in the plane-wave basis (dual-space application).
+
+H = -1/2 nabla^2 + V_eff(r) + V_NL, applied to a *block* of bands at once:
+
+* kinetic term: diagonal |G|^2/2 multiplication in reciprocal space;
+* local effective potential (ionic local + Hartree + XC + LS3DF passivation
+  potential): FFT each band to real space, multiply, FFT back;
+* nonlocal Kleinman-Bylander term: two matrix-matrix multiplications with
+  the projector matrix (the BLAS-3 structure from the paper's all-band
+  optimisation).
+
+The class also exposes a dense-matrix builder used by tests and by the
+exact-diagonalization reference solver on tiny fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.pseudopotential import PseudopotentialSet
+
+
+@dataclass
+class ApplyCounter:
+    """Counts Hamiltonian applications and FFTs for performance accounting."""
+
+    n_apply: int = 0
+    n_fft: int = 0
+    n_projector_flops: float = 0.0
+
+    def reset(self) -> None:
+        self.n_apply = 0
+        self.n_fft = 0
+        self.n_projector_flops = 0.0
+
+
+class Hamiltonian:
+    """Plane-wave Kohn-Sham Hamiltonian for one periodic cell or fragment.
+
+    Parameters
+    ----------
+    basis:
+        Plane-wave basis (defines the grid and the kinetic diagonal).
+    local_potential:
+        Real-space local potential on ``basis.grid`` (ionic local +
+        passivation potential).  The *screening* parts (Hartree + XC) are
+        added separately via :meth:`set_effective_potential` so the SCF
+        loop can update them cheaply.
+    projectors, projector_strengths:
+        Kleinman-Bylander projectors ``(nproj, npw)`` and strengths
+        ``(nproj,)``; pass empty arrays for a purely local Hamiltonian.
+    """
+
+    def __init__(
+        self,
+        basis: PlaneWaveBasis,
+        local_potential: np.ndarray,
+        projectors: np.ndarray | None = None,
+        projector_strengths: np.ndarray | None = None,
+    ) -> None:
+        if local_potential.shape != basis.grid.shape:
+            raise ValueError("local potential shape does not match grid")
+        self.basis = basis
+        self.v_ionic = np.asarray(local_potential, dtype=float)
+        self.v_screening = np.zeros_like(self.v_ionic)
+        if projectors is None:
+            projectors = np.zeros((0, basis.npw), dtype=complex)
+        if projector_strengths is None:
+            projector_strengths = np.zeros(0)
+        projectors = np.asarray(projectors, dtype=complex)
+        projector_strengths = np.asarray(projector_strengths, dtype=float)
+        if projectors.shape[0] != projector_strengths.shape[0]:
+            raise ValueError("projector count mismatch")
+        if projectors.size and projectors.shape[1] != basis.npw:
+            raise ValueError("projector length must equal npw")
+        self.projectors = projectors
+        self.projector_strengths = projector_strengths
+        self.counter = ApplyCounter()
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_structure(
+        cls,
+        structure: Structure,
+        basis: PlaneWaveBasis,
+        pseudopotentials: PseudopotentialSet,
+        extra_local_potential: np.ndarray | None = None,
+    ) -> "Hamiltonian":
+        """Build the ionic Hamiltonian for a structure (no screening yet)."""
+        v_loc = pseudopotentials.local_potential(structure, basis.grid)
+        if extra_local_potential is not None:
+            if extra_local_potential.shape != basis.grid.shape:
+                raise ValueError("extra potential shape mismatch")
+            v_loc = v_loc + extra_local_potential
+        proj, strength = pseudopotentials.nonlocal_projectors(structure, basis)
+        return cls(basis, v_loc, proj, strength)
+
+    # -- potential management -----------------------------------------------
+    @property
+    def nproj(self) -> int:
+        return self.projectors.shape[0]
+
+    def set_effective_potential(self, v_screening: np.ndarray) -> None:
+        """Set the screening (Hartree + XC) part of the local potential."""
+        if v_screening.shape != self.basis.grid.shape:
+            raise ValueError("screening potential shape mismatch")
+        self.v_screening = np.asarray(v_screening, dtype=float)
+
+    def set_total_local_potential(self, v_total: np.ndarray) -> None:
+        """Set the *total* local potential directly (LS3DF Gen_VF path).
+
+        In LS3DF the fragment receives the global input potential restricted
+        to its box plus the fixed passivation correction; in that mode the
+        Hamiltonian does not recompute Hartree/XC itself.
+        """
+        if v_total.shape != self.basis.grid.shape:
+            raise ValueError("potential shape mismatch")
+        self.v_ionic = np.asarray(v_total, dtype=float)
+        self.v_screening = np.zeros_like(self.v_ionic)
+
+    @property
+    def local_potential(self) -> np.ndarray:
+        """Current total local potential (ionic + screening)."""
+        return self.v_ionic + self.v_screening
+
+    # -- application ---------------------------------------------------------
+    def apply(self, coefficients: np.ndarray) -> np.ndarray:
+        """Apply H to a block of band coefficients ``(nbands, npw)``.
+
+        Accepts a single vector ``(npw,)`` as well.
+        """
+        c = np.asarray(coefficients, dtype=complex)
+        single = c.ndim == 1
+        if single:
+            c = c[None, :]
+        if c.shape[1] != self.basis.npw:
+            raise ValueError("coefficient length must equal npw")
+        nbands = c.shape[0]
+
+        # Kinetic: diagonal in G.
+        out = c * self.basis.kinetic[None, :]
+
+        # Local potential: FFT to real space, multiply, FFT back.
+        psi_r = self.basis.to_real_space(c)
+        vpsi_r = psi_r * self.local_potential[None, :, :, :]
+        out += self.basis.from_real_space(vpsi_r)
+        self.counter.n_fft += 2 * nbands
+
+        # Nonlocal KB term: BLAS-3 projections.
+        if self.nproj:
+            beta = self.projectors.conj() @ c.T  # (nproj, nbands)
+            out += (self.projectors.T @ (self.projector_strengths[:, None] * beta)).T
+            self.counter.n_projector_flops += 16.0 * self.nproj * self.basis.npw * nbands
+
+        self.counter.n_apply += nbands
+        return out[0] if single else out
+
+    def expectation(self, coefficients: np.ndarray) -> np.ndarray:
+        """Diagonal expectation values <psi_i|H|psi_i> for a band block."""
+        c = np.atleast_2d(np.asarray(coefficients, dtype=complex))
+        hc = self.apply(c)
+        return np.real(np.einsum("ij,ij->i", c.conj(), hc))
+
+    def subspace_matrix(self, coefficients: np.ndarray) -> np.ndarray:
+        """Subspace (Rayleigh-Ritz) matrix  C H C^H  for a band block."""
+        c = np.atleast_2d(np.asarray(coefficients, dtype=complex))
+        hc = self.apply(c)
+        return c.conj() @ hc.T
+
+    # -- dense reference -------------------------------------------------------
+    def dense_matrix(self) -> np.ndarray:
+        """Build the full (npw x npw) Hamiltonian matrix.
+
+        Only sensible for small bases (tests, exact reference); cost and
+        memory are O(npw^2).
+        """
+        npw = self.basis.npw
+        if npw > 4000:
+            raise MemoryError("dense Hamiltonian requested for npw > 4000")
+        h = np.zeros((npw, npw), dtype=complex)
+        identity = np.eye(npw, dtype=complex)
+        # Column-by-column application in blocks to bound memory.
+        block = 256
+        for start in range(0, npw, block):
+            stop = min(npw, start + block)
+            h[:, start:stop] = self.apply(identity[start:stop]).T
+        # Enforce exact hermiticity against round-off.
+        return 0.5 * (h + h.conj().T)
+
+    # -- preconditioner ----------------------------------------------------------
+    def preconditioner(self, reference_kinetic: float | None = None) -> np.ndarray:
+        """Diagonal TPA-style preconditioner for the CG eigensolvers.
+
+        Returns a positive array ``(npw,)`` approximating (H - eps)^{-1}
+        for low-lying states; larger kinetic energy components are damped.
+        """
+        t = self.basis.kinetic
+        if reference_kinetic is None:
+            reference_kinetic = max(1.0, float(np.median(t)))
+        x = t / reference_kinetic
+        return 1.0 / (1.0 + x + x * x)

@@ -1,0 +1,168 @@
+"""Potential mixing schemes for the self-consistent field loop.
+
+The LS3DF outer loop (and the direct DFT SCF) updates the input potential
+from the output potential of the previous iteration.  Plain substitution
+usually diverges ("charge sloshing"), so the paper mixes potentials from
+previous iterations.  Three standard mixers are provided:
+
+* :class:`LinearMixer`   — simple damping, V_in' = (1-a) V_in + a V_out;
+* :class:`KerkerMixer`   — linear mixing with a G-dependent damping factor
+  q^2/(q^2+q0^2) that suppresses long-wavelength sloshing in large cells;
+* :class:`AndersonMixer` — Anderson/Pulay (DIIS) mixing over a history of
+  residuals, the scheme production plane-wave codes (and LS3DF) use.
+
+All mixers operate on real-space potential arrays of a fixed grid shape
+and expose the same ``mix(v_in, v_out) -> v_next`` interface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pw.grid import FFTGrid
+
+
+class LinearMixer:
+    """Simple linear (damped) potential mixing."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = float(alpha)
+
+    def reset(self) -> None:
+        """No state to clear; provided for interface uniformity."""
+
+    def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
+        if v_in.shape != v_out.shape:
+            raise ValueError("potential shape mismatch")
+        return (1.0 - self.alpha) * v_in + self.alpha * v_out
+
+
+class KerkerMixer:
+    """Kerker-preconditioned linear mixing.
+
+    The residual is filtered in reciprocal space by q^2 / (q^2 + q0^2),
+    which damps the long-wavelength components responsible for charge
+    sloshing in large supercells — important precisely in the LS3DF regime
+    of thousands of atoms.
+    """
+
+    def __init__(self, grid: FFTGrid, alpha: float = 0.5, q0: float = 0.8) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if q0 <= 0:
+            raise ValueError("q0 must be positive")
+        self.grid = grid
+        self.alpha = float(alpha)
+        self.q0 = float(q0)
+        g2 = grid.g2
+        self._filter = g2 / (g2 + q0 * q0)
+        # G=0: keep a small fraction so the average potential can still move.
+        self._filter.flat[0] = alpha and 1.0
+
+    def reset(self) -> None:
+        """No state to clear; provided for interface uniformity."""
+
+    def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
+        if v_in.shape != self.grid.shape or v_out.shape != self.grid.shape:
+            raise ValueError("potential shape mismatch")
+        resid_g = np.fft.fftn(v_out - v_in)
+        update = np.real(np.fft.ifftn(self._filter * resid_g))
+        return v_in + self.alpha * update
+
+
+@dataclass
+class _HistoryEntry:
+    v_in: np.ndarray
+    residual: np.ndarray
+
+
+class AndersonMixer:
+    """Anderson (Pulay/DIIS) mixing with a bounded history.
+
+    Finds the linear combination of previous (v_in, residual) pairs that
+    minimises the norm of the combined residual, then takes a damped step
+    along the combined output.  Falls back to plain linear mixing while the
+    history is too short or the normal equations are ill-conditioned.
+    """
+
+    def __init__(self, alpha: float = 0.4, history: int = 5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if history < 1:
+            raise ValueError("history must be >= 1")
+        self.alpha = float(alpha)
+        self.history = int(history)
+        self._entries: deque[_HistoryEntry] = deque(maxlen=history)
+
+    def reset(self) -> None:
+        """Clear the mixing history (call when the SCF problem changes)."""
+        self._entries.clear()
+
+    def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
+        if v_in.shape != v_out.shape:
+            raise ValueError("potential shape mismatch")
+        residual = v_out - v_in
+        self._entries.append(_HistoryEntry(v_in.copy(), residual.copy()))
+        n = len(self._entries)
+        if n == 1:
+            return v_in + self.alpha * residual
+
+        # Solve min || sum_k c_k r_k ||^2  subject to  sum_k c_k = 1.
+        res_mat = np.stack([e.residual.ravel() for e in self._entries])
+        gram = res_mat @ res_mat.T
+        scale = np.trace(gram) / n
+        if scale <= 0:
+            return v_in + self.alpha * residual
+        a = np.zeros((n + 1, n + 1))
+        a[:n, :n] = gram / scale
+        a[:n, n] = 1.0
+        a[n, :n] = 1.0
+        rhs = np.zeros(n + 1)
+        rhs[n] = 1.0
+        try:
+            sol = np.linalg.solve(a, rhs)
+            coeffs = sol[:n]
+        except np.linalg.LinAlgError:
+            coeffs = np.zeros(n)
+            coeffs[-1] = 1.0
+        if not np.all(np.isfinite(coeffs)) or np.abs(coeffs).max() > 1e4:
+            # Ill-conditioned history: drop the oldest entries and fall back.
+            while len(self._entries) > 1:
+                self._entries.popleft()
+            return v_in + self.alpha * residual
+
+        v_opt = np.zeros_like(v_in)
+        r_opt = np.zeros_like(v_in)
+        for c_k, entry in zip(coeffs, self._entries):
+            v_opt += c_k * entry.v_in
+            r_opt += c_k * entry.residual
+        return v_opt + self.alpha * r_opt
+
+
+def make_mixer(kind: str, grid: FFTGrid | None = None, **kwargs) -> LinearMixer | KerkerMixer | AndersonMixer:
+    """Factory used by the SCF drivers.
+
+    Parameters
+    ----------
+    kind:
+        One of ``"linear"``, ``"kerker"``, ``"anderson"``.
+    grid:
+        Required for the Kerker mixer.
+    kwargs:
+        Forwarded to the mixer constructor.
+    """
+    kind = kind.lower()
+    if kind == "linear":
+        return LinearMixer(**kwargs)
+    if kind == "kerker":
+        if grid is None:
+            raise ValueError("Kerker mixing requires the FFT grid")
+        return KerkerMixer(grid, **kwargs)
+    if kind == "anderson":
+        return AndersonMixer(**kwargs)
+    raise ValueError(f"unknown mixer kind {kind!r}")

@@ -1,0 +1,280 @@
+"""Direct (conventional, O(N^3)) self-consistent field driver.
+
+This is the "direct DFT" the paper compares LS3DF against: a single
+Kohn-Sham problem over the whole supercell, solved self-consistently with
+potential mixing.  It is used three ways in this repository:
+
+* as the reference for the LS3DF-vs-direct accuracy experiments (E7);
+* as the per-fragment solver inside LS3DF (fragments are just small
+  periodic cells);
+* as the cost model anchor for the O(N^3) crossover analysis (E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.density import compute_density, integrated_charge, occupations_for_insulator
+from repro.pw.eigensolver import EigensolverResult, all_band_cg, band_by_band_cg, exact_diagonalization
+from repro.pw.energy import (
+    EnergyBreakdown,
+    potential_distance,
+    screening_potential,
+    total_energy_from_orbitals,
+)
+from repro.pw.density import normalize_density
+from repro.pw.grid import FFTGrid
+from repro.pw.hamiltonian import Hamiltonian
+from repro.pw.mixing import AndersonMixer, make_mixer
+from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotentials
+
+
+@dataclass
+class SCFResult:
+    """Outcome of a self-consistent field calculation.
+
+    Attributes
+    ----------
+    eigenvalues:
+        Final band energies (Hartree).
+    coefficients:
+        Final orbital coefficients ``(nbands, npw)``.
+    density:
+        Final real-space density.
+    potential:
+        Final screening (Hartree + XC) potential.
+    energy:
+        Total-energy breakdown at the final density.
+    converged:
+        True when the potential-difference metric fell below the tolerance.
+    iterations:
+        Number of SCF iterations performed.
+    convergence_history:
+        Per-iteration value of integral |V_out - V_in| d^3r (the paper's
+        Fig. 6 metric).
+    energy_history:
+        Per-iteration total energy.
+    """
+
+    eigenvalues: np.ndarray
+    coefficients: np.ndarray
+    density: np.ndarray
+    potential: np.ndarray
+    energy: EnergyBreakdown
+    converged: bool
+    iterations: int
+    convergence_history: list[float] = field(default_factory=list)
+    energy_history: list[float] = field(default_factory=list)
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+    def band_gap(self, nelectrons: int) -> float:
+        """Kohn-Sham gap between the highest occupied and lowest empty band."""
+        homo = nelectrons // 2 - 1 + (nelectrons % 2)
+        lumo = homo + 1
+        if lumo >= len(self.eigenvalues):
+            raise ValueError("not enough bands to evaluate the gap; add empty bands")
+        return float(self.eigenvalues[lumo] - self.eigenvalues[homo])
+
+
+class DirectSCF:
+    """Self-consistent Kohn-Sham solver for one periodic cell.
+
+    Parameters
+    ----------
+    structure:
+        Periodic structure (Bohr).
+    ecut:
+        Plane-wave cutoff (Hartree).
+    grid:
+        Optional explicit FFT grid; by default one is chosen from the
+        cutoff via ``FFTGrid.for_structure`` with a density matched to the
+        cutoff sphere.
+    pseudopotentials:
+        Model pseudopotential set; defaults to the paper's species set.
+    nbands:
+        Number of bands; defaults to enough for the electrons plus ~20%
+        empty bands (needed for gap evaluation and for FSM references).
+    n_empty:
+        Explicit number of empty bands when ``nbands`` is not given.
+    extra_local_potential:
+        Optional fixed local potential added to the ionic part (used by the
+        LS3DF fragment solver for the passivation potential).
+    eigensolver:
+        ``"all_band"`` (default), ``"band_by_band"`` or ``"exact"``.
+    mixer:
+        ``"anderson"`` (default), ``"kerker"`` or ``"linear"``.
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        ecut: float = 4.0,
+        grid: FFTGrid | None = None,
+        pseudopotentials: PseudopotentialSet | None = None,
+        nbands: int | None = None,
+        n_empty: int = 4,
+        extra_local_potential: np.ndarray | None = None,
+        eigensolver: str = "all_band",
+        mixer: str = "anderson",
+        mixer_options: dict | None = None,
+        points_per_bohr: float | None = None,
+    ) -> None:
+        self.structure = structure
+        self.pseudopotentials = pseudopotentials or default_pseudopotentials()
+        for sym in set(structure.symbols):
+            if sym not in self.pseudopotentials:
+                raise KeyError(f"missing pseudopotential for {sym!r}")
+        if grid is None:
+            if points_per_bohr is None:
+                # Nyquist criterion: the grid must support 2*sqrt(2*ecut)
+                # (density cutoff) along each axis.
+                gmax = np.sqrt(2.0 * ecut)
+                points_per_bohr = max(1.2, 2.0 * gmax / np.pi * 1.05)
+            grid = FFTGrid.for_structure(structure.cell, points_per_bohr)
+        self.grid = grid
+        self.basis = PlaneWaveBasis(grid, ecut)
+        self.nelectrons = structure.total_valence_electrons()
+        if nbands is None:
+            nbands = (self.nelectrons + 1) // 2 + n_empty
+        if nbands < (self.nelectrons + 1) // 2:
+            raise ValueError("nbands too small to hold all electrons")
+        self.nbands = int(nbands)
+        self.occupations = occupations_for_insulator(self.nelectrons, self.nbands)
+        self.hamiltonian = Hamiltonian.from_structure(
+            structure, self.basis, self.pseudopotentials, extra_local_potential
+        )
+        self.ionic_density = self.pseudopotentials.ionic_density(structure, grid)
+        self.ionic_self_energy = self.pseudopotentials.ionic_self_energy(structure)
+        if eigensolver not in {"all_band", "band_by_band", "exact"}:
+            raise ValueError(f"unknown eigensolver {eigensolver!r}")
+        self.eigensolver = eigensolver
+        self.mixer = make_mixer(mixer, grid=grid, **(mixer_options or {}))
+
+    # ------------------------------------------------------------------
+    def initial_density(self) -> np.ndarray:
+        """Starting electron density guess.
+
+        A superposition of the smeared ionic charges (clipped to be
+        non-negative and renormalised to the electron count) — i.e. a
+        neutral-pseudo-atom guess, the standard starting point of
+        production plane-wave codes.  Falls back to a uniform density when
+        the model carries no ionic charge.
+        """
+        if np.any(self.ionic_density > 0):
+            rho = np.clip(self.ionic_density, 0.0, None)
+            return normalize_density(rho, self.nelectrons, self.grid.dvol)
+        return np.full(self.grid.shape, self.nelectrons / self.grid.volume)
+
+    def _solve_bands(
+        self,
+        initial: np.ndarray | None,
+        tolerance: float,
+        max_iterations: int,
+    ) -> EigensolverResult:
+        if self.eigensolver == "exact":
+            return exact_diagonalization(self.hamiltonian, self.nbands)
+        if self.eigensolver == "band_by_band":
+            return band_by_band_cg(
+                self.hamiltonian,
+                self.nbands,
+                initial=initial,
+                max_iterations=max_iterations,
+                tolerance=tolerance,
+            )
+        return all_band_cg(
+            self.hamiltonian,
+            self.nbands,
+            initial=initial,
+            max_iterations=max_iterations,
+            tolerance=tolerance,
+        )
+
+    def run(
+        self,
+        max_scf_iterations: int = 40,
+        potential_tolerance: float = 1e-4,
+        eigensolver_tolerance: float = 1e-6,
+        eigensolver_iterations: int = 40,
+        initial_potential: np.ndarray | None = None,
+        verbose: bool = False,
+    ) -> SCFResult:
+        """Run the SCF loop to convergence (or the iteration cap).
+
+        The convergence metric is the paper's integral |V_out - V_in| d^3r.
+        """
+        grid = self.grid
+        if initial_potential is None:
+            rho0 = self.initial_density()
+            v_in = screening_potential(rho0, grid, self.ionic_density)
+        else:
+            if initial_potential.shape != grid.shape:
+                raise ValueError("initial potential shape mismatch")
+            v_in = initial_potential.copy()
+        if isinstance(self.mixer, AndersonMixer):
+            self.mixer.reset()
+
+        coeffs: np.ndarray | None = None
+        conv_history: list[float] = []
+        energy_history: list[float] = []
+        converged = False
+        eigenvalues = np.zeros(self.nbands)
+        density = self.initial_density()
+
+        iteration = 0
+        for iteration in range(1, max_scf_iterations + 1):
+            self.hamiltonian.set_effective_potential(v_in)
+            band_result = self._solve_bands(
+                coeffs, eigensolver_tolerance, eigensolver_iterations
+            )
+            coeffs = band_result.coefficients
+            eigenvalues = band_result.eigenvalues
+            density = compute_density(self.basis, coeffs, self.occupations)
+            v_out = screening_potential(density, grid, self.ionic_density)
+            diff = potential_distance(v_out, v_in, grid)
+            conv_history.append(diff)
+            energy = total_energy_from_orbitals(
+                self.hamiltonian,
+                coeffs,
+                self.occupations,
+                density,
+                self.ionic_density,
+                self.ionic_self_energy,
+            )
+            energy_history.append(energy.total)
+            if verbose:  # pragma: no cover - logging
+                print(
+                    f"SCF {iteration:3d}: |Vout-Vin| = {diff:.3e}  "
+                    f"E = {energy.total:.6f} Ha"
+                )
+            if diff < potential_tolerance:
+                converged = True
+                v_in = v_out
+                break
+            v_in = self.mixer.mix(v_in, v_out)
+
+        energy = total_energy_from_orbitals(
+            self.hamiltonian,
+            coeffs,
+            self.occupations,
+            density,
+            self.ionic_density,
+            self.ionic_self_energy,
+        )
+        return SCFResult(
+            eigenvalues=eigenvalues,
+            coefficients=coeffs,
+            density=density,
+            potential=v_in,
+            energy=energy,
+            converged=converged,
+            iterations=iteration,
+            convergence_history=conv_history,
+            energy_history=energy_history,
+        )

@@ -1,0 +1,115 @@
+"""Local density approximation (LDA) exchange-correlation.
+
+Slater exchange plus Perdew-Zunger 1981 parametrisation of the Ceperley-
+Alder correlation energy, spin-unpolarised.  Returns both the energy
+density and the XC potential, which is what the Kohn-Sham Hamiltonian and
+the total-energy functional need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Slater exchange constant: e_x(n) = -Cx * n^{1/3}
+_CX = 0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# Perdew-Zunger correlation parameters (unpolarised).
+_PZ_GAMMA = -0.1423
+_PZ_BETA1 = 1.0529
+_PZ_BETA2 = 0.3334
+_PZ_A = 0.0311
+_PZ_B = -0.048
+_PZ_C = 0.0020
+_PZ_D = -0.0116
+
+_DENSITY_FLOOR = 1e-20
+
+
+def _rs(density: np.ndarray) -> np.ndarray:
+    """Wigner-Seitz radius r_s from the density."""
+    n = np.maximum(density, _DENSITY_FLOOR)
+    return (3.0 / (4.0 * np.pi * n)) ** (1.0 / 3.0)
+
+
+def lda_exchange(density: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Slater exchange energy density per particle and potential.
+
+    Returns ``(eps_x, v_x)`` where ``eps_x`` is the exchange energy per
+    electron and ``v_x = d(n eps_x)/dn = 4/3 eps_x``.
+    """
+    n = np.maximum(np.asarray(density, dtype=float), 0.0)
+    n13 = np.cbrt(np.maximum(n, _DENSITY_FLOOR))
+    eps_x = -_CX * n13
+    v_x = (4.0 / 3.0) * eps_x
+    # Exactly zero where the density is (numerically) zero.
+    zero = n <= _DENSITY_FLOOR
+    eps_x = np.where(zero, 0.0, eps_x)
+    v_x = np.where(zero, 0.0, v_x)
+    return eps_x, v_x
+
+
+def lda_correlation(density: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Perdew-Zunger 81 correlation energy per particle and potential."""
+    n = np.maximum(np.asarray(density, dtype=float), 0.0)
+    rs = _rs(n)
+    eps_c = np.empty_like(rs)
+    v_c = np.empty_like(rs)
+
+    high = rs >= 1.0  # low-density branch
+    low = ~high
+
+    # rs >= 1 (Pade form)
+    rs_h = rs[high]
+    sq = np.sqrt(rs_h)
+    denom = 1.0 + _PZ_BETA1 * sq + _PZ_BETA2 * rs_h
+    ec_h = _PZ_GAMMA / denom
+    # v_c = ec * (1 + 7/6 b1 sqrt(rs) + 4/3 b2 rs) / (1 + b1 sqrt(rs) + b2 rs)
+    v_h = ec_h * (1.0 + (7.0 / 6.0) * _PZ_BETA1 * sq + (4.0 / 3.0) * _PZ_BETA2 * rs_h) / denom
+    eps_c[high] = ec_h
+    v_c[high] = v_h
+
+    # rs < 1 (logarithmic form)
+    rs_l = rs[low]
+    ln = np.log(np.maximum(rs_l, 1e-30))
+    ec_l = _PZ_A * ln + _PZ_B + _PZ_C * rs_l * ln + _PZ_D * rs_l
+    v_l = (
+        _PZ_A * ln
+        + (_PZ_B - _PZ_A / 3.0)
+        + (2.0 / 3.0) * _PZ_C * rs_l * ln
+        + ((2.0 * _PZ_D - _PZ_C) / 3.0) * rs_l
+    )
+    eps_c[low] = ec_l
+    v_c[low] = v_l
+
+    zero = n <= _DENSITY_FLOOR
+    eps_c = np.where(zero, 0.0, eps_c)
+    v_c = np.where(zero, 0.0, v_c)
+    return eps_c, v_c
+
+
+def lda_xc(density: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Combined LDA exchange-correlation.
+
+    Parameters
+    ----------
+    density:
+        Electron density on the real-space grid (electrons / Bohr^3);
+        negative values (from mixing overshoot) are clipped to zero.
+
+    Returns
+    -------
+    eps_xc:
+        Exchange-correlation energy per electron at each grid point.
+    v_xc:
+        Exchange-correlation potential at each grid point (Hartree).
+    """
+    eps_x, v_x = lda_exchange(density)
+    eps_c, v_c = lda_correlation(density)
+    return eps_x + eps_c, v_x + v_c
+
+
+def xc_energy(density: np.ndarray, dvol: float) -> float:
+    """Total XC energy  E_xc = integral n(r) eps_xc(n(r)) dr."""
+    n = np.maximum(np.asarray(density, dtype=float), 0.0)
+    eps_xc, _ = lda_xc(n)
+    return float(np.sum(n * eps_xc) * dvol)

@@ -1,0 +1,42 @@
+"""Tests for unit conversions and the LS3DF-vs-direct comparison helpers."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    ANGSTROM_TO_BOHR,
+    BOHR_TO_ANGSTROM,
+    EV_TO_HARTREE,
+    HARTREE_TO_EV,
+    HARTREE_TO_RYDBERG,
+    RYDBERG_TO_HARTREE,
+)
+from repro.core.compare import dipole_moment
+from repro.pw.grid import FFTGrid
+
+
+def test_unit_conversions_are_inverses():
+    assert HARTREE_TO_EV * EV_TO_HARTREE == pytest.approx(1.0)
+    assert BOHR_TO_ANGSTROM * ANGSTROM_TO_BOHR == pytest.approx(1.0)
+    assert RYDBERG_TO_HARTREE * HARTREE_TO_RYDBERG == pytest.approx(1.0)
+    assert HARTREE_TO_EV == pytest.approx(27.211, rel=1e-4)
+
+
+def test_dipole_moment_of_symmetric_density_is_zero():
+    grid = FFTGrid([8.0] * 3, (12, 12, 12))
+    rho = np.ones(grid.shape)
+    dip = dipole_moment(rho, grid)
+    assert np.allclose(dip, 0.0, atol=1e-8)
+
+
+def test_dipole_moment_of_offset_density():
+    grid = FFTGrid([8.0] * 3, (16, 16, 16))
+    coords = grid.real_coordinates
+    grid_center = coords.reshape(-1, 3).mean(axis=0)
+    # A Gaussian displaced along +x from the grid centre.
+    center = grid_center + np.array([1.25, 0.0, 0.0])
+    d = coords - center[None, None, None, :]
+    rho = np.exp(-np.einsum("...i,...i->...", d, d))
+    dip = dipole_moment(rho, grid)
+    assert dip[0] > 0.1
+    assert abs(dip[1]) < 1e-6 and abs(dip[2]) < 1e-6

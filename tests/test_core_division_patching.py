@@ -1,0 +1,177 @@
+"""Tests for the spatial division, Gen_VF restriction and Gen_dens patching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atoms.toy import cscl_binary, simple_cubic
+from repro.atoms.zincblende import zincblende_supercell
+from repro.core.division import SpatialDivision
+from repro.core.fragments import enumerate_fragments
+from repro.core.passivation import passivate_fragment
+from repro.core.patching import (
+    patch_fragment_fields,
+    patching_identity_residual,
+    restrict_to_fragment,
+)
+from repro.pw.grid import FFTGrid
+
+
+def make_division(dims=(2, 2, 1), points_per_cell=6, buffer_cells=0.5):
+    structure = cscl_binary(dims, "Zn", "O", 6.0)
+    shape = tuple(points_per_cell * m for m in dims)
+    grid = FFTGrid(structure.cell, shape)
+    return SpatialDivision(structure, dims, grid, buffer_cells)
+
+
+def test_division_requires_commensurate_grid():
+    structure = cscl_binary((2, 2, 2), "Zn", "O", 6.0)
+    bad_grid = FFTGrid(structure.cell, (10, 10, 9))
+    with pytest.raises(ValueError):
+        SpatialDivision(structure, (2, 2, 2), bad_grid)
+
+
+def test_atom_assignment_covers_all_atoms():
+    division = make_division((2, 2, 2))
+    counts = 0
+    for i in range(2):
+        for j in range(2):
+            for k in range(2):
+                counts += len(division.atoms_in_cell((i, j, k)))
+    assert counts == division.structure.natoms
+    # Each CsCl cell holds exactly two atoms.
+    assert len(division.atoms_in_cell((0, 0, 0))) == 2
+
+
+def test_atoms_in_fragment_union_of_cells():
+    division = make_division((2, 2, 2))
+    frag = [f for f in enumerate_fragments((2, 2, 2)) if f.size == (2, 1, 1)][0]
+    atoms = division.atoms_in_fragment(frag)
+    assert len(atoms) == 4  # two cells x two atoms
+
+
+def test_fragment_box_geometry_and_interior_slice():
+    division = make_division((2, 2, 1), points_per_cell=6, buffer_cells=0.5)
+    frag = enumerate_fragments((2, 2, 1))[0]
+    box = division.fragment_box(frag)
+    assert box.buffer_points == (3, 3, 3)
+    interior = box.interior_slice
+    npoints = box.npoints
+    assert (interior[0].stop - interior[0].start) == npoints[0] - 6
+    grid = division.fragment_grid(frag)
+    assert grid.compatible_with(division.global_grid)
+
+
+def test_fragment_structure_atoms_inside_box():
+    division = make_division((3, 2, 1))
+    for frag in enumerate_fragments((3, 2, 1))[:12]:
+        fs = division.fragment_structure(frag)
+        assert fs.natoms == len(division.atoms_in_fragment(frag))
+        box = division.fragment_box(frag)
+        assert np.allclose(fs.cell, box.cell)
+
+
+def test_restriction_matches_direct_indexing():
+    division = make_division((2, 2, 1))
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal(division.global_grid.shape)
+    frag = enumerate_fragments((2, 2, 1))[5]
+    restricted = restrict_to_fragment(division, frag, field)
+    box = division.fragment_box(frag)
+    assert restricted.shape == box.npoints
+    ix, iy, iz = division.global_indices(frag)
+    assert np.allclose(restricted, field[np.ix_(ix, iy, iz)])
+
+
+def test_patching_identity_for_random_field():
+    division = make_division((2, 2, 1))
+    rng = np.random.default_rng(1)
+    field = rng.standard_normal(division.global_grid.shape)
+    assert patching_identity_residual(division, field) < 1e-12
+
+
+def test_patching_conserves_integral():
+    division = make_division((2, 2, 2), points_per_cell=4)
+    fragments = enumerate_fragments((2, 2, 2))
+    rng = np.random.default_rng(2)
+    field = np.abs(rng.standard_normal(division.global_grid.shape))
+    restricted = [restrict_to_fragment(division, f, field) for f in fragments]
+    patched = patch_fragment_fields(division, fragments, restricted)
+    assert np.sum(patched) == pytest.approx(np.sum(field), rel=1e-12)
+
+
+def test_patching_shape_validation():
+    division = make_division((2, 2, 1))
+    fragments = enumerate_fragments((2, 2, 1))
+    with pytest.raises(ValueError):
+        patch_fragment_fields(division, fragments, [np.zeros((2, 2, 2))] * len(fragments))
+    with pytest.raises(ValueError):
+        patch_fragment_fields(division, fragments, [])
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    m1=st.integers(min_value=1, max_value=3),
+    m2=st.integers(min_value=1, max_value=3),
+    m3=st.integers(min_value=1, max_value=2),
+    ppc=st.sampled_from([4, 6]),
+    buffer_frac=st.sampled_from([0.0, 0.5]),
+)
+def test_property_restrict_patch_roundtrip(m1, m2, m3, ppc, buffer_frac):
+    """Gen_dens(Gen_VF(field)) == field for any grid shape and buffer."""
+    dims = (m1, m2, m3)
+    structure = simple_cubic(dims, "Si", 5.0)
+    grid = FFTGrid(structure.cell, tuple(ppc * m for m in dims))
+    division = SpatialDivision(structure, dims, grid, buffer_frac)
+    rng = np.random.default_rng(m1 * 100 + m2 * 10 + m3)
+    field = rng.standard_normal(grid.shape)
+    assert patching_identity_residual(division, field) < 1e-10
+
+
+# --- passivation ------------------------------------------------------------------
+
+def test_passivation_adds_hydrogens_on_cut_bonds():
+    structure = zincblende_supercell((2, 2, 2), "Zn", "Te")
+    dims = (2, 2, 2)
+    grid = FFTGrid(structure.cell, (16, 16, 16))
+    division = SpatialDivision(structure, dims, grid, 0.5)
+    frag = [f for f in enumerate_fragments(dims) if f.size == (1, 1, 1)][0]
+    result = passivate_fragment(division, frag)
+    assert result.n_passivants > 0
+    assert result.structure.natoms == 8 + result.n_passivants
+    # All passivants are pseudo-hydrogen species.
+    for idx in result.passivant_indices:
+        assert result.structure.symbols[idx] in {"H", "H_cation", "H_anion"}
+    # Polar passivation: cut bonds toward cations terminated by H_anion etc.
+    kinds = {result.structure.symbols[i] for i in result.passivant_indices}
+    assert kinds <= {"H_cation", "H_anion"}
+
+
+def test_passivation_nonpolar_uses_plain_hydrogen():
+    structure = zincblende_supercell((2, 2, 2), "Zn", "Te")
+    grid = FFTGrid(structure.cell, (16, 16, 16))
+    division = SpatialDivision(structure, (2, 2, 2), grid, 0.5)
+    frag = enumerate_fragments((2, 2, 2))[0]
+    result = passivate_fragment(division, frag, polar=False)
+    kinds = {result.structure.symbols[i] for i in result.passivant_indices}
+    assert kinds == {"H"}
+
+
+def test_passivation_bond_fraction_validation():
+    structure = zincblende_supercell((2, 2, 2), "Zn", "Te")
+    grid = FFTGrid(structure.cell, (16, 16, 16))
+    division = SpatialDivision(structure, (2, 2, 2), grid, 0.5)
+    frag = enumerate_fragments((2, 2, 2))[0]
+    with pytest.raises(ValueError):
+        passivate_fragment(division, frag, bond_fraction=1.5)
+
+
+def test_whole_system_fragment_needs_no_passivation():
+    # A fragment covering the entire (periodic) supercell has no cut bonds.
+    structure = zincblende_supercell((2, 1, 1), "Zn", "Te")
+    grid = FFTGrid(structure.cell, (16, 8, 8))
+    division = SpatialDivision(structure, (2, 1, 1), grid, 0.0)
+    frag = [f for f in enumerate_fragments((2, 1, 1)) if f.size == (2, 1, 1)][0]
+    result = passivate_fragment(division, frag)
+    assert result.n_passivants == 0

@@ -1,0 +1,110 @@
+"""Integration tests of the LS3DF driver on a tiny toy system."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.toy import cscl_binary
+from repro.core.driver import LS3DF
+from repro.core.genpot import GlobalPotentialSolver
+from repro.pw.grid import FFTGrid
+from repro.pw.pseudopotential import default_pseudopotentials
+
+
+@pytest.fixture(scope="module")
+def tiny_ls3df():
+    """A 4-atom CsCl toy solved with a (2,1,1) fragment grid (4 fragments)."""
+    structure = cscl_binary((2, 1, 1), "Zn", "O", 6.0)
+    ls3df = LS3DF(
+        structure,
+        grid_dims=(2, 1, 1),
+        ecut=2.2,
+        buffer_cells=0.5,
+        n_empty=2,
+        mixer="kerker",
+    )
+    result = ls3df.run(
+        max_iterations=8,
+        potential_tolerance=1e-2,
+        eigensolver_tolerance=1e-4,
+        eigensolver_iterations=40,
+    )
+    return structure, ls3df, result
+
+
+def test_ls3df_runs_and_produces_density(tiny_ls3df):
+    structure, ls3df, result = tiny_ls3df
+    assert result.nfragments == ls3df.nfragments == 4
+    assert result.density.shape == ls3df.global_grid.shape
+    total = np.sum(result.density) * ls3df.global_grid.dvol
+    assert total == pytest.approx(structure.total_valence_electrons(), rel=1e-6)
+    assert np.all(result.density >= -1e-10)
+
+
+def test_ls3df_convergence_metric_decreases(tiny_ls3df):
+    _, _, result = tiny_ls3df
+    hist = result.convergence_history
+    assert len(hist) == result.iterations
+    assert hist[-1] < hist[0]
+    assert min(hist) < 0.5 * hist[0]
+
+
+def test_ls3df_energy_finite_and_stabilises(tiny_ls3df):
+    _, _, result = tiny_ls3df
+    assert np.isfinite(result.total_energy)
+    tail = result.energy_history[-2:]
+    assert abs(tail[-1] - tail[0]) < 1.0
+
+
+def test_ls3df_timings_follow_paper_structure(tiny_ls3df):
+    _, _, result = tiny_ls3df
+    t = result.timings[-1]
+    # The fragment solves dominate, just as PEtot_F dominates in the paper.
+    assert t.petot_f > t.gen_vf
+    assert t.petot_f > t.gen_dens
+    assert t.petot_f > t.genpot
+    assert set(t.as_dict()) == {"Gen_VF", "PEtot_F", "Gen_dens", "GENPOT", "total"}
+
+
+def test_ls3df_fragment_results_weights(tiny_ls3df):
+    _, ls3df, result = tiny_ls3df
+    weights = sorted(r.fragment.weight for r in result.fragment_results)
+    assert weights.count(1) == 2 and weights.count(-1) == 2
+    summary = ls3df.fragment_summary()
+    assert len(summary) == 4
+    assert all(row["plane_waves"] > row["bands"] for row in summary)
+
+
+def test_ls3df_band_edge_states(tiny_ls3df):
+    structure, ls3df, result = tiny_ls3df
+    states = ls3df.band_edge_states(result, n_states=2, max_iterations=80, tolerance=1e-6)
+    assert states.energies.shape == (2,)
+    dens = states.densities_on_grid()
+    assert dens.shape[0] == 2
+    norms = np.sum(dens, axis=(1, 2, 3)) * ls3df.global_grid.dvol
+    assert np.allclose(norms, 1.0, atol=1e-6)
+
+
+def test_ls3df_warm_restart_converges_quickly(tiny_ls3df):
+    structure, ls3df, result = tiny_ls3df
+    restart = ls3df.run(
+        max_iterations=4,
+        potential_tolerance=result.convergence_history[-1] * 1.5,
+        eigensolver_tolerance=1e-4,
+        initial_potential=result.potential,
+    )
+    assert restart.iterations <= 2
+
+
+def test_genpot_solver_initial_potential_and_evaluate():
+    structure = cscl_binary((2, 1, 1), "Zn", "O", 6.0)
+    grid = FFTGrid(structure.cell, (12, 6, 6))
+    genpot = GlobalPotentialSolver(structure, grid, default_pseudopotentials())
+    v0 = genpot.initial_potential()
+    assert v0.shape == grid.shape
+    rho = np.clip(genpot.ionic_density, 0, None)
+    out = genpot.evaluate(rho, v0)
+    assert out.potential_difference >= 0
+    assert np.isfinite(out.electrostatic_energy)
+    assert np.isfinite(out.xc_energy)
+    with pytest.raises(ValueError):
+        genpot.evaluate(np.zeros((2, 2, 2)), v0)

@@ -1,0 +1,131 @@
+"""Tests for FFT grids and the plane-wave basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.grid import FFTGrid
+
+
+def test_grid_basic_properties():
+    grid = FFTGrid([10.0, 12.0, 8.0], (10, 12, 8))
+    assert grid.npoints == 960
+    assert grid.volume == pytest.approx(960.0)
+    assert grid.dvol == pytest.approx(1.0)
+    assert np.allclose(grid.spacing, 1.0)
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        FFTGrid([10.0, -1.0, 8.0], (10, 10, 10))
+    with pytest.raises(ValueError):
+        FFTGrid([10.0, 10.0, 10.0], (10, 1, 10))
+
+
+def test_grid_fft_roundtrip():
+    grid = FFTGrid([6.0, 6.0, 6.0], (8, 8, 8))
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal(grid.shape)
+    back = grid.to_real(grid.to_reciprocal(field))
+    assert np.allclose(back.real, field, atol=1e-12)
+
+
+def test_grid_integrate_constant_field():
+    grid = FFTGrid([5.0, 5.0, 5.0], (6, 6, 6))
+    field = np.full(grid.shape, 2.0)
+    assert grid.integrate(field) == pytest.approx(2.0 * grid.volume)
+
+
+def test_grid_g_vectors_nyquist():
+    grid = FFTGrid([10.0, 10.0, 10.0], (10, 10, 10))
+    assert grid.gmax2 == pytest.approx((np.pi * 10 / 10.0) ** 2)
+    assert grid.g2.min() == pytest.approx(0.0)
+
+
+def test_grid_for_structure_even_and_compatible():
+    grid = FFTGrid.for_structure([11.0, 11.0, 11.0], points_per_bohr=1.5)
+    assert all(n % 2 == 0 for n in grid.shape)
+    grid2 = FFTGrid(grid.cell, grid.shape)
+    assert grid.compatible_with(grid2)
+
+
+def test_basis_cutoff_selection():
+    grid = FFTGrid([8.0, 8.0, 8.0], (12, 12, 12))
+    basis = PlaneWaveBasis(grid, ecut=2.0)
+    assert basis.npw > 1
+    assert np.all(0.5 * basis.g2 <= 2.0 + 1e-10)
+    assert basis.g2[basis.gzero_index] == pytest.approx(0.0)
+
+
+def test_basis_cutoff_too_large_for_grid():
+    grid = FFTGrid([8.0, 8.0, 8.0], (6, 6, 6))
+    with pytest.raises(ValueError):
+        PlaneWaveBasis(grid, ecut=50.0)
+
+
+def test_basis_grid_scatter_gather_roundtrip():
+    grid = FFTGrid([8.0, 8.0, 8.0], (10, 10, 10))
+    basis = PlaneWaveBasis(grid, ecut=2.5)
+    rng = np.random.default_rng(1)
+    coeffs = rng.standard_normal(basis.npw) + 1j * rng.standard_normal(basis.npw)
+    assert np.allclose(basis.from_grid(basis.to_grid(coeffs)), coeffs)
+
+
+def test_basis_real_space_normalization():
+    grid = FFTGrid([9.0, 9.0, 9.0], (12, 12, 12))
+    basis = PlaneWaveBasis(grid, ecut=2.0)
+    c = basis.random_coefficients(3, rng=0)
+    # Orthonormal coefficients -> real-space orbitals normalised to 1.
+    psi = basis.to_real_space(c)
+    norms = np.sum(np.abs(psi) ** 2, axis=(1, 2, 3)) * grid.dvol
+    assert np.allclose(norms, 1.0, atol=1e-10)
+    # Round trip back to coefficients.
+    back = basis.from_real_space(psi)
+    assert np.allclose(back, c, atol=1e-10)
+
+
+def test_random_coefficients_are_orthonormal():
+    grid = FFTGrid([9.0, 9.0, 9.0], (12, 12, 12))
+    basis = PlaneWaveBasis(grid, ecut=2.0)
+    c = basis.random_coefficients(5, rng=3)
+    overlap = c.conj() @ c.T
+    assert np.allclose(overlap, np.eye(5), atol=1e-10)
+
+
+def test_orthonormalize_restores_orthonormality():
+    grid = FFTGrid([9.0, 9.0, 9.0], (12, 12, 12))
+    basis = PlaneWaveBasis(grid, ecut=2.0)
+    c = basis.random_coefficients(4, rng=5)
+    skewed = c.copy()
+    skewed[1] = 0.7 * c[0] + 0.3 * c[1]
+    fixed = basis.orthonormalize(skewed)
+    overlap = fixed.conj() @ fixed.T
+    assert np.allclose(overlap, np.eye(4), atol=1e-10)
+
+
+def test_orthonormalize_rejects_degenerate_block():
+    grid = FFTGrid([9.0, 9.0, 9.0], (12, 12, 12))
+    basis = PlaneWaveBasis(grid, ecut=2.0)
+    c = basis.random_coefficients(2, rng=7)
+    c[1] = c[0]
+    with pytest.raises(np.linalg.LinAlgError):
+        basis.orthonormalize(c)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nx=st.integers(min_value=6, max_value=14),
+    ny=st.integers(min_value=6, max_value=14),
+    nz=st.integers(min_value=6, max_value=14),
+)
+def test_property_parseval_fft_grid(nx, ny, nz):
+    """Parseval: sum |f|^2 dvol equals sum |f_G|^2 * dvol / N (fftn norm)."""
+    grid = FFTGrid([7.0, 8.0, 9.0], (nx, ny, nz))
+    rng = np.random.default_rng(nx * 100 + ny * 10 + nz)
+    f = rng.standard_normal(grid.shape)
+    fg = grid.to_reciprocal(f)
+    lhs = np.sum(f * f) * grid.dvol
+    rhs = np.sum(np.abs(fg) ** 2) / grid.npoints * grid.dvol
+    assert lhs == pytest.approx(rhs, rel=1e-10)

@@ -1,0 +1,240 @@
+"""Tests for the Hamiltonian, the eigensolvers, energies and the FSM."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.toy import cscl_binary, simple_cubic
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.density import compute_density, integrated_charge, occupations_for_insulator
+from repro.pw.eigensolver import all_band_cg, band_by_band_cg, exact_diagonalization
+from repro.pw.energy import (
+    electrostatic_energy,
+    potential_distance,
+    screening_potential,
+    total_energy_from_eigenvalues,
+    total_energy_from_orbitals,
+)
+from repro.pw.fsm import folded_spectrum
+from repro.pw.grid import FFTGrid
+from repro.pw.hamiltonian import Hamiltonian
+from repro.pw.pseudopotential import (
+    SpeciesPseudopotential,
+    default_pseudopotentials,
+)
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    """A 2-atom toy crystal Hamiltonian with a modest basis (module-scoped)."""
+    structure = cscl_binary((1, 1, 1), "Zn", "O", 6.5)
+    pps = default_pseudopotentials()
+    grid = FFTGrid.for_structure(structure.cell, points_per_bohr=1.8)
+    basis = PlaneWaveBasis(grid, ecut=2.5)
+    h = Hamiltonian.from_structure(structure, basis, pps)
+    rho_ion = pps.ionic_density(structure, grid)
+    rho0 = np.clip(rho_ion, 0, None)
+    rho0 *= structure.total_valence_electrons() / (np.sum(rho0) * grid.dvol)
+    h.set_effective_potential(screening_potential(rho0, grid, rho_ion))
+    return structure, pps, grid, basis, h, rho_ion
+
+
+# --- pseudopotentials ----------------------------------------------------------
+
+def test_ionic_density_integrates_to_total_charge(small_problem):
+    structure, pps, grid, *_ , rho_ion = small_problem
+    total = integrated_charge(rho_ion, grid.dvol)
+    assert total == pytest.approx(pps.total_ionic_charge(structure), rel=1e-6)
+
+
+def test_local_potential_is_real_and_attractive_near_anion(small_problem):
+    structure, pps, grid, *_ = small_problem
+    v = pps.local_potential(structure, grid)
+    assert v.shape == grid.shape
+    assert np.isrealobj(v)
+    # The short-range part must average to the sum of form factors / volume.
+    assert np.abs(np.mean(v)) < 10.0
+
+
+def test_pseudopotential_set_lookup_errors():
+    pps = default_pseudopotentials()
+    with pytest.raises(KeyError):
+        pps["NotASpecies"]
+    with pytest.raises(ValueError):
+        SpeciesPseudopotential("X", v0=1.0, sigma=-1.0)
+    with pytest.raises(ValueError):
+        SpeciesPseudopotential("X", v0=1.0, sigma=1.0, core_width=-0.5)
+    assert "Zn" in pps and "Te" in pps
+
+
+def test_with_override_replaces_parameters():
+    pps = default_pseudopotentials()
+    new = pps.with_override(
+        {"O": SpeciesPseudopotential("O", v0=9.9, sigma=0.8, zion=6.0)}
+    )
+    assert new["O"].v0 == pytest.approx(9.9)
+    assert pps["O"].v0 != pytest.approx(9.9)
+
+
+# --- Hamiltonian -----------------------------------------------------------------
+
+def test_hamiltonian_is_hermitian(small_problem):
+    *_, basis, h, _ = small_problem[2:], small_problem[3], small_problem[4], small_problem[5]
+    basis = small_problem[3]
+    h = small_problem[4]
+    rng = np.random.default_rng(0)
+    a = basis.random_coefficients(1, rng)[0]
+    b = basis.random_coefficients(1, rng)[0]
+    lhs = np.vdot(a, h.apply(b))
+    rhs = np.vdot(h.apply(a), b)
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+def test_dense_matrix_matches_apply(small_problem):
+    basis, h = small_problem[3], small_problem[4]
+    mat = h.dense_matrix()
+    rng = np.random.default_rng(1)
+    c = basis.random_coefficients(1, rng)[0]
+    assert np.allclose(mat @ c, h.apply(c), atol=1e-10)
+    assert np.allclose(mat, mat.conj().T, atol=1e-12)
+
+
+def test_expectation_values_are_real_and_above_ground_state(small_problem):
+    basis, h = small_problem[3], small_problem[4]
+    exact = exact_diagonalization(h, 4)
+    rng = np.random.default_rng(2)
+    c = basis.random_coefficients(3, rng)
+    expect = h.expectation(c)
+    assert np.all(expect >= exact.eigenvalues[0] - 1e-10)
+
+
+def test_preconditioner_positive(small_problem):
+    h = small_problem[4]
+    p = h.preconditioner()
+    assert np.all(p > 0)
+    assert np.all(p <= 1.0 + 1e-12)
+
+
+# --- eigensolvers -----------------------------------------------------------------
+
+def test_all_band_cg_matches_exact(small_problem):
+    h = small_problem[4]
+    nb = 8
+    exact = exact_diagonalization(h, nb)
+    iterative = all_band_cg(h, nb, max_iterations=150, tolerance=1e-8)
+    assert iterative.converged
+    assert np.allclose(iterative.eigenvalues, exact.eigenvalues, atol=1e-6)
+    overlap = iterative.coefficients.conj() @ iterative.coefficients.T
+    assert np.allclose(overlap, np.eye(nb), atol=1e-8)
+
+
+def test_band_by_band_cg_reasonable_accuracy(small_problem):
+    h = small_problem[4]
+    nb = 4
+    exact = exact_diagonalization(h, nb)
+    bb = band_by_band_cg(h, nb, max_iterations=40, tolerance=1e-5)
+    assert np.allclose(bb.eigenvalues, exact.eigenvalues, atol=5e-3)
+
+
+def test_all_band_warm_start_converges_faster(small_problem):
+    h = small_problem[4]
+    nb = 6
+    first = all_band_cg(h, nb, max_iterations=150, tolerance=1e-7)
+    warm = all_band_cg(h, nb, initial=first.coefficients, max_iterations=150, tolerance=1e-7)
+    assert warm.iterations <= max(2, first.iterations // 3)
+
+
+def test_eigensolver_argument_validation(small_problem):
+    h = small_problem[4]
+    with pytest.raises(ValueError):
+        all_band_cg(h, 0)
+    with pytest.raises(ValueError):
+        exact_diagonalization(h, 10**6)
+
+
+def test_all_band_history_is_recorded(small_problem):
+    h = small_problem[4]
+    res = all_band_cg(h, 4, max_iterations=30, tolerance=1e-12)
+    assert len(res.history) == res.iterations
+    # Residual histories should broadly decrease (allow small plateaus).
+    assert res.history[-1] < res.history[0]
+
+
+# --- density / energy ---------------------------------------------------------------
+
+def test_occupations_for_insulator():
+    occ = occupations_for_insulator(8, 6)
+    assert np.allclose(occ, [2, 2, 2, 2, 0, 0])
+    occ_odd = occupations_for_insulator(7, 5)
+    assert occ_odd[3] == 1.0
+    with pytest.raises(ValueError):
+        occupations_for_insulator(10, 2)
+
+
+def test_density_integrates_to_electron_count(small_problem):
+    structure, pps, grid, basis, h, rho_ion = small_problem
+    nelec = structure.total_valence_electrons()
+    nbands = nelec // 2 + 2
+    res = all_band_cg(h, nbands, max_iterations=100, tolerance=1e-6)
+    occ = occupations_for_insulator(nelec, nbands)
+    rho = compute_density(basis, res.coefficients, occ)
+    assert np.all(rho >= -1e-12)
+    assert integrated_charge(rho, grid.dvol) == pytest.approx(nelec, rel=1e-8)
+
+
+def test_band_energy_identity_at_fixed_potential(small_problem):
+    """sum occ eps_i == sum occ <T+V_sr+V_NL> + integral rho_out * V_scr dr.
+
+    This is the identity connecting the two total-energy routes; it must
+    hold exactly (to solver tolerance) for *any* fixed screening potential,
+    without requiring self-consistency.
+    """
+    structure, pps, grid, basis, h, rho_ion = small_problem
+    nelec = structure.total_valence_electrons()
+    nbands = nelec // 2 + 2
+    res = all_band_cg(h, nbands, max_iterations=150, tolerance=1e-7)
+    occ = occupations_for_insulator(nelec, nbands)
+    rho_out = compute_density(basis, res.coefficients, occ)
+    self_e = pps.ionic_self_energy(structure)
+    breakdown = total_energy_from_orbitals(h, res.coefficients, occ, rho_out, rho_ion, self_e)
+    band_sum = float(np.sum(occ * res.eigenvalues))
+    double_count = float(np.sum(rho_out * h.v_screening) * grid.dvol)
+    assert band_sum == pytest.approx(breakdown.kinetic_and_ionic + double_count, rel=1e-5)
+    # The orbital-route breakdown must be finite and include the self-energy.
+    assert np.isfinite(breakdown.total)
+    assert breakdown.ionic_self_energy == pytest.approx(self_e)
+
+
+def test_potential_distance_metric(small_problem):
+    grid = small_problem[2]
+    a = np.zeros(grid.shape)
+    b = np.ones(grid.shape)
+    assert potential_distance(a, b, grid) == pytest.approx(grid.volume)
+    assert potential_distance(a, a, grid) == 0.0
+
+
+def test_electrostatic_energy_of_neutral_system_is_finite(small_problem):
+    structure, pps, grid, basis, h, rho_ion = small_problem
+    rho = np.clip(rho_ion, 0, None)
+    rho *= structure.total_valence_electrons() / (np.sum(rho) * grid.dvol)
+    e = electrostatic_energy(rho, grid, rho_ion)
+    assert np.isfinite(e)
+    assert abs(e) < 10.0
+
+
+# --- folded spectrum method -----------------------------------------------------------
+
+def test_folded_spectrum_finds_interior_states(small_problem):
+    h = small_problem[4]
+    exact = exact_diagonalization(h, 10)
+    # Fold around the energy of the 5th state: FSM must return states whose
+    # energies are the exact eigenvalues closest to the reference.
+    ref = float(exact.eigenvalues[4]) + 1e-3
+    fsm = folded_spectrum(h, ref, nstates=3, max_iterations=250, tolerance=1e-9)
+    # Each FSM energy must match some exact eigenvalue.
+    for e in fsm.eigenvalues:
+        assert np.min(np.abs(exact.eigenvalues - e)) < 1e-4
+    # And they must be (among) the nearest ones to the reference.
+    dist_found = np.sort(np.abs(fsm.eigenvalues - ref))
+    dist_exact = np.sort(np.abs(exact.eigenvalues - ref))[:3]
+    assert dist_found[0] == pytest.approx(dist_exact[0], abs=1e-4)
+    assert np.all(fsm.residual_norms < 1e-3)

@@ -1,0 +1,182 @@
+"""Tests for the LDA functional, the Poisson solver and potential mixing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import FOUR_PI
+from repro.pw.grid import FFTGrid
+from repro.pw.hartree import hartree_energy, hartree_potential, poisson_residual
+from repro.pw.mixing import AndersonMixer, KerkerMixer, LinearMixer, make_mixer
+from repro.pw.xc import lda_correlation, lda_exchange, lda_xc, xc_energy
+
+
+# --- LDA -------------------------------------------------------------------
+
+def test_exchange_known_value():
+    # eps_x(n) = -(3/4)(3/pi)^{1/3} n^{1/3}; check at n = 1.
+    eps, v = lda_exchange(np.array([1.0]))
+    expected = -0.75 * (3.0 / np.pi) ** (1.0 / 3.0)
+    assert eps[0] == pytest.approx(expected)
+    assert v[0] == pytest.approx(4.0 / 3.0 * expected)
+
+
+def test_exchange_zero_density_is_zero():
+    eps, v = lda_exchange(np.zeros(4))
+    assert np.all(eps == 0) and np.all(v == 0)
+
+
+def test_correlation_negative_and_continuous_at_rs_one():
+    # PZ correlation energy is negative everywhere and continuous at rs=1.
+    n_at_rs1 = 3.0 / (4.0 * np.pi)
+    eps_lo, _ = lda_correlation(np.array([n_at_rs1 * 1.001]))
+    eps_hi, _ = lda_correlation(np.array([n_at_rs1 * 0.999]))
+    assert eps_lo[0] < 0 and eps_hi[0] < 0
+    assert eps_lo[0] == pytest.approx(eps_hi[0], abs=5e-4)
+
+
+def test_xc_potential_is_derivative_of_energy_density():
+    # v_xc = d(n eps_xc)/dn, checked by finite differences.
+    for n0 in [0.01, 0.1, 1.0]:
+        eps = 1e-6 * n0
+        e_plus = (n0 + eps) * lda_xc(np.array([n0 + eps]))[0][0]
+        e_minus = (n0 - eps) * lda_xc(np.array([n0 - eps]))[0][0]
+        numeric = (e_plus - e_minus) / (2 * eps)
+        _, v = lda_xc(np.array([n0]))
+        assert v[0] == pytest.approx(numeric, rel=1e-4)
+
+
+def test_xc_energy_negative_for_positive_density():
+    grid = FFTGrid([5.0] * 3, (6, 6, 6))
+    rho = np.full(grid.shape, 0.02)
+    assert xc_energy(rho, grid.dvol) < 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.floats(min_value=1e-6, max_value=10.0))
+def test_property_xc_scaling_monotonic(n):
+    """Exchange becomes more negative with density; potential below energy."""
+    eps, v = lda_exchange(np.array([n]))
+    assert eps[0] < 0
+    assert v[0] < eps[0]  # v_x = 4/3 eps_x < eps_x < 0
+
+
+# --- Poisson / Hartree -------------------------------------------------------
+
+def test_hartree_potential_of_cosine_density():
+    # rho = cos(G.r) => V = 4 pi cos(G.r) / G^2 exactly.
+    grid = FFTGrid([10.0, 10.0, 10.0], (16, 16, 16))
+    g = 2.0 * np.pi / 10.0
+    x = grid.real_coordinates[..., 0]
+    rho = np.cos(g * x)
+    v = hartree_potential(rho, grid)
+    expected = FOUR_PI * np.cos(g * x) / g**2
+    assert np.allclose(v, expected, atol=1e-10)
+
+
+def test_poisson_residual_is_zero_for_solver_output():
+    grid = FFTGrid([8.0, 9.0, 10.0], (12, 12, 12))
+    rng = np.random.default_rng(2)
+    rho = np.abs(rng.standard_normal(grid.shape))
+    v = hartree_potential(rho, grid)
+    assert poisson_residual(v, rho, grid) < 1e-8
+
+
+def test_hartree_energy_positive_and_scales_quadratically():
+    grid = FFTGrid([8.0] * 3, (12, 12, 12))
+    rng = np.random.default_rng(4)
+    rho = np.abs(rng.standard_normal(grid.shape))
+    e1 = hartree_energy(rho, grid)
+    e2 = hartree_energy(2.0 * rho, grid)
+    assert e1 > 0
+    assert e2 == pytest.approx(4.0 * e1, rel=1e-10)
+
+
+def test_hartree_shape_validation():
+    grid = FFTGrid([8.0] * 3, (12, 12, 12))
+    with pytest.raises(ValueError):
+        hartree_potential(np.zeros((4, 4, 4)), grid)
+
+
+# --- Mixing ------------------------------------------------------------------
+
+def test_linear_mixer_interpolates():
+    m = LinearMixer(alpha=0.25)
+    v_in = np.zeros((4, 4, 4))
+    v_out = np.ones((4, 4, 4))
+    assert np.allclose(m.mix(v_in, v_out), 0.25)
+
+
+def test_linear_mixer_validation():
+    with pytest.raises(ValueError):
+        LinearMixer(alpha=0.0)
+    with pytest.raises(ValueError):
+        LinearMixer(alpha=1.5)
+
+
+def test_kerker_mixer_damps_long_wavelengths_more():
+    grid = FFTGrid([20.0] * 3, (16, 16, 16))
+    m = KerkerMixer(grid, alpha=1.0, q0=1.0)
+    x = grid.real_coordinates[..., 0]
+    long_wave = np.cos(2 * np.pi * x / 20.0)
+    short_wave = np.cos(2 * np.pi * 6 * x / 20.0)
+    v_in = np.zeros(grid.shape)
+    upd_long = m.mix(v_in, long_wave) / np.maximum(np.abs(long_wave), 1e-12)
+    upd_short = m.mix(v_in, short_wave) / np.maximum(np.abs(short_wave), 1e-12)
+    assert np.median(np.abs(upd_long)) < np.median(np.abs(upd_short))
+
+
+def test_anderson_mixer_converges_linear_fixed_point():
+    """Anderson mixing must converge a simple contractive fixed-point map."""
+    rng = np.random.default_rng(0)
+    target = rng.standard_normal((6, 6, 6))
+
+    def output_of(v):
+        # A linear map with spectral radius < 1 around the fixed point.
+        return target + 0.6 * (v - target)
+
+    mixer = AndersonMixer(alpha=0.5, history=4)
+    v = np.zeros_like(target)
+    for _ in range(30):
+        v = mixer.mix(v, output_of(v))
+    assert np.max(np.abs(v - target)) < 1e-6
+
+
+def test_anderson_faster_than_linear():
+    rng = np.random.default_rng(1)
+    target = rng.standard_normal((5, 5, 5))
+
+    def output_of(v):
+        return target + 0.8 * (v - target)
+
+    def run(mixer, n):
+        v = np.zeros_like(target)
+        for _ in range(n):
+            v = mixer.mix(v, output_of(v))
+        return np.max(np.abs(v - target))
+
+    err_linear = run(LinearMixer(alpha=0.5), 15)
+    err_anderson = run(AndersonMixer(alpha=0.5, history=5), 15)
+    assert err_anderson < err_linear
+
+
+def test_make_mixer_factory():
+    grid = FFTGrid([8.0] * 3, (8, 8, 8))
+    assert isinstance(make_mixer("linear"), LinearMixer)
+    assert isinstance(make_mixer("kerker", grid=grid), KerkerMixer)
+    assert isinstance(make_mixer("anderson"), AndersonMixer)
+    with pytest.raises(ValueError):
+        make_mixer("kerker")
+    with pytest.raises(ValueError):
+        make_mixer("unknown")
+
+
+def test_anderson_reset_clears_history():
+    mixer = AndersonMixer(alpha=0.5, history=3)
+    a = np.zeros((3, 3, 3))
+    b = np.ones((3, 3, 3))
+    mixer.mix(a, b)
+    mixer.reset()
+    # After reset the first mix is plain linear again.
+    assert np.allclose(mixer.mix(a, b), 0.5)

@@ -1,0 +1,37 @@
+"""Shared helper: build a real PEtot_F fragment-task batch for benchmarks.
+
+Used by the Fig. 3/4 measured-speedup benchmarks to complement the
+modelled evaluation with wall-clock numbers from the actual executors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atoms import cscl_binary
+from repro.core.division import SpatialDivision
+from repro.core.fragment_solver import FragmentSolver
+from repro.core.fragments import enumerate_fragments
+from repro.pw.grid import FFTGrid
+from repro.pw.pseudopotential import default_pseudopotentials
+
+
+def make_real_tasks(dims=(2, 2, 1), ecut: float = 2.2):
+    """Picklable solve tasks for every fragment of a small real system."""
+    structure = cscl_binary(dims, "Zn", "Se", 6.5)
+    points = tuple(10 * d for d in dims)
+    grid = FFTGrid(structure.cell, points)
+    division = SpatialDivision(structure, dims, grid, 0.5)
+    solver = FragmentSolver(division, default_pseudopotentials(), ecut=ecut)
+    tasks = []
+    for frag in enumerate_fragments(dims):
+        restricted = np.zeros(division.fragment_grid(frag).shape)
+        tasks.append(
+            solver.make_task(
+                frag,
+                restricted,
+                eigensolver_tolerance=1e-3,
+                eigensolver_iterations=25,
+            )
+        )
+    return tasks

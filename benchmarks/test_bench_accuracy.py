@@ -38,6 +38,30 @@ def _run_comparison():
     return report, ls_result, d_result
 
 
+def test_ls3df_vs_direct_accuracy_smoke():
+    """Fast variant of the accuracy case: same comparison, tiny budget.
+
+    Uses the smallest geometry and iteration counts that still exercise the
+    full compare pipeline (LS3DF run + direct run + band-edge extraction).
+    """
+    structure = cscl_binary((2, 1, 1), "Zn", "Se", 6.5)
+    report, ls_result, d_result = compare_ls3df_to_direct(
+        structure,
+        grid_dims=(2, 1, 1),
+        ecut=2.2,
+        n_band_edge=2,
+        ls3df_kwargs={"buffer_cells": 0.5, "n_empty": 2, "mixer": "kerker"},
+        run_kwargs={"max_iterations": 4, "potential_tolerance": 5e-3,
+                    "eigensolver_tolerance": 1e-4},
+        direct_run_kwargs={"max_scf_iterations": 8, "potential_tolerance": 5e-3,
+                           "eigensolver_tolerance": 1e-4},
+    )
+    assert ls_result.convergence_history[-1] < ls_result.convergence_history[0]
+    assert report.density_l1_error < 5.0
+    assert abs(report.energy_per_atom_mev) < 1e7  # finite, sane scale
+
+
+@pytest.mark.slow
 @pytest.mark.paper_experiment
 def test_bench_ls3df_vs_direct_accuracy(benchmark, results_dir):
     report, ls_result, d_result = benchmark.pedantic(_run_comparison, rounds=1, iterations=1)

@@ -17,18 +17,21 @@ from repro.core.driver import LS3DF
 from repro.io.results import ResultRecord, save_records
 
 
-def _run_convergence():
+def _make_alloy(dims):
     # Model-scale analogue of the ZnTe:O alloy: a CsCl-type Zn-Se host with
     # one Se site replaced by O (an isoelectronic substitution, as in the
     # paper's ZnTe(1-x)O(x) system).
-    structure = cscl_binary((2, 2, 1), "Zn", "Se", 6.5)
+    structure = cscl_binary(dims, "Zn", "Se", 6.5)
     symbols = structure.symbols
     symbols[symbols.index("Se")] = "O"
     from repro.atoms.structure import Structure
 
-    alloy = Structure(structure.cell, symbols, structure.positions)
+    return Structure(structure.cell, symbols, structure.positions)
+
+
+def _run_convergence():
     ls3df = LS3DF(
-        alloy,
+        _make_alloy((2, 2, 1)),
         grid_dims=(2, 2, 1),
         ecut=2.2,
         buffer_cells=0.5,
@@ -45,6 +48,28 @@ def _run_convergence():
     return result
 
 
+def test_fig6_scf_convergence_smoke():
+    """Fast variant of the Figure 6 case: same pipeline, tiny system."""
+    ls3df = LS3DF(
+        _make_alloy((2, 1, 1)),
+        grid_dims=(2, 1, 1),
+        ecut=2.2,
+        buffer_cells=0.5,
+        n_empty=2,
+        mixer="kerker",
+    )
+    result = ls3df.run(
+        max_iterations=6,
+        potential_tolerance=1e-3,
+        eigensolver_tolerance=1e-4,
+        eigensolver_iterations=40,
+    )
+    history = np.asarray(result.convergence_history)
+    assert len(history) == result.iterations
+    assert history[-1] < history[0]
+
+
+@pytest.mark.slow
 @pytest.mark.paper_experiment
 def test_bench_fig6_scf_convergence(benchmark, results_dir):
     result = benchmark.pedantic(_run_convergence, rounds=1, iterations=1)

@@ -53,6 +53,26 @@ def _run_band_edge():
     return host, host_evals, alloy, states, report
 
 
+def test_fig7_band_edge_states_smoke():
+    """Fast variant of the Figure 7 case: alloy + FSM with a tiny budget."""
+    host = cscl_binary((2, 1, 1), "Zn", "Se", 6.5)
+    symbols = host.symbols
+    symbols[symbols.index("Se")] = "O"
+    alloy = Structure(host.cell, symbols, host.positions)
+    ls_alloy = LS3DF(alloy, grid_dims=(2, 1, 1), ecut=2.4, buffer_cells=0.5, n_empty=3)
+    alloy_result = ls_alloy.run(max_iterations=4, potential_tolerance=5e-3,
+                                eigensolver_tolerance=1e-4)
+    states = ls_alloy.band_edge_states(alloy_result, n_states=2,
+                                       max_iterations=40, tolerance=1e-5)
+    assert states.energies.shape == (2,)
+    assert np.all(np.isfinite(states.energies))
+    densities = states.densities_on_grid()
+    report = localization_report(states.energies, densities,
+                                 ls_alloy.global_grid, alloy)
+    assert np.all(np.isfinite(report.oxygen_weight))
+
+
+@pytest.mark.slow
 @pytest.mark.paper_experiment
 def test_bench_fig7_band_edge_states(benchmark, results_dir):
     host, host_evals, alloy, states, report = benchmark.pedantic(

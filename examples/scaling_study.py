@@ -2,8 +2,11 @@
 
 Part A reproduces the modelled evaluation (Table I, Figures 3-5) for any of
 the three machines; Part B runs a *real* laptop-scale strong-scaling
-measurement by distributing actual fragment solves over worker processes
-with the process-pool executor.
+measurement: a full LS3DF self-consistent calculation is repeated with the
+serial, thread-pool and process-pool fragment-execution backends, and the
+*measured* PEtot_F speedup (from the per-fragment wall times the SCF loop
+records) is printed next to the speedup the LPT load-balancing model
+predicts for the same fragment batch.
 
 Usage:  python examples/scaling_study.py [--machine franklin|jaguar|intrepid]
                                          [--workers N]
@@ -13,12 +16,8 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
-
 from repro.atoms import cscl_binary
-from repro.core.division import SpatialDivision
-from repro.core.fragments import enumerate_fragments
-from repro.core.passivation import passivate_fragment
+from repro.core import LS3DFSCF
 from repro.io import format_table
 from repro.parallel import (
     DirectDFTCostModel,
@@ -27,11 +26,10 @@ from repro.parallel import (
     LS3DFWorkload,
     ProcessPoolFragmentExecutor,
     SerialFragmentExecutor,
+    ThreadPoolFragmentExecutor,
     machine_by_name,
 )
 from repro.parallel.comm import CommScheme
-from repro.parallel.executor import FragmentTask
-from repro.pw.grid import FFTGrid
 
 
 def modelled_evaluation(machine_name: str) -> None:
@@ -57,42 +55,61 @@ def modelled_evaluation(machine_name: str) -> None:
 
 
 def real_strong_scaling(max_workers: int) -> None:
-    print("\n=== Real fragment-solve strong scaling (process pool) ===")
+    print("\n=== Real LS3DF strong scaling (pluggable fragment backends) ===")
     structure = cscl_binary((2, 2, 1), "Zn", "Se", 6.5)
-    dims = (2, 2, 1)
-    grid = FFTGrid(structure.cell, (20, 20, 10))
-    division = SpatialDivision(structure, dims, grid, 0.5)
-    fragments = enumerate_fragments(dims)
-    tasks = []
-    for frag in fragments:
-        passv = passivate_fragment(division, frag)
-        fgrid = division.fragment_grid(frag)
-        tasks.append(FragmentTask(
-            label=frag.label,
-            cell=tuple(fgrid.cell),
-            grid_shape=fgrid.shape,
-            symbols=passv.structure.symbols,
-            positions=passv.structure.positions,
-            screening_potential=np.zeros(fgrid.shape),
+
+    def run_with(executor):
+        scf = LS3DFSCF(
+            structure,
+            grid_dims=(2, 2, 1),
             ecut=2.2,
+            buffer_cells=0.5,
             n_empty=2,
-            tolerance=1e-4,
-            max_iterations=40,
-        ))
-    print(f"{len(tasks)} fragment solves")
+            mixer="kerker",
+            executor=executor,
+        )
+        result = scf.run(
+            max_iterations=3,
+            potential_tolerance=1e-6,  # fixed work: never converges early
+            eigensolver_tolerance=1e-4,
+            eigensolver_iterations=40,
+        )
+        return scf, result
+
+    backends = [("serial", 1, SerialFragmentExecutor())]
+    for workers in sorted({2, max_workers} if max_workers > 1 else set()):
+        backends.append((f"threads x{workers}", workers,
+                         ThreadPoolFragmentExecutor(n_workers=workers)))
+        backends.append((f"processes x{workers}", workers,
+                         ProcessPoolFragmentExecutor(n_workers=workers)))
+
+    scheduler = FragmentScheduler()
     rows = []
-    baseline = None
-    for workers in [1, 2, max_workers]:
-        executor = SerialFragmentExecutor() if workers == 1 else ProcessPoolFragmentExecutor(workers)
-        report = executor.run(tasks)
-        baseline = baseline or report.wall_time
+    baseline_wall = None
+    for name, workers, executor in backends:
+        scf, result = run_with(executor)
+        if hasattr(executor, "close"):
+            executor.close()
+        petot_wall = sum(t.petot_f for t in result.timings)
+        petot_cpu = sum(t.petot_f_cpu for t in result.timings)
+        if baseline_wall is None:
+            baseline_wall = petot_wall
+        # Modelled speedup: perfect LPT load balancing of this fragment
+        # batch over the workers (sum of costs / heaviest group).
+        schedule = scheduler.schedule(scf.fragments, workers)
+        modeled = float(schedule.group_loads.sum() / schedule.makespan)
         rows.append({
-            "workers": workers,
-            "wall time [s]": round(report.wall_time, 1),
-            "speedup": round(baseline / report.wall_time, 2),
-            "parallel efficiency": round(report.parallel_efficiency, 2),
+            "backend": name,
+            "PEtot_F wall [s]": round(petot_wall, 2),
+            "measured speedup": round(baseline_wall / petot_wall, 2),
+            "modeled speedup (LPT)": round(modeled, 2),
+            "in-step speedup": round(petot_cpu / petot_wall, 2),
+            "imbalance": round(schedule.imbalance, 2),
         })
+    print(f"{scf.nfragments} fragments, 3 SCF iterations per backend")
     print(format_table(rows))
+    print("(measured = serial PEtot_F wall / backend PEtot_F wall;"
+          " modeled = LPT-balanced ideal for the same fragment costs)")
 
 
 def main() -> None:

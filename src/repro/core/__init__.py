@@ -10,8 +10,11 @@ performs the paper's four steps:
 
 * **Gen_VF**   (:mod:`repro.core.patching`)    — restrict the global input
   potential to every fragment box and add the fixed passivation potential;
-* **PEtot_F**  (:mod:`repro.core.fragment_solver`) — solve the Kohn-Sham
-  eigenproblem of every fragment with the plane-wave substrate;
+* **PEtot_F**  (:mod:`repro.core.fragment_task` /
+  :mod:`repro.core.fragment_solver`) — solve the Kohn-Sham eigenproblem of
+  every fragment with the plane-wave substrate, dispatched through a
+  pluggable execution backend (serial, thread pool or process pool; see
+  :mod:`repro.parallel.executor`);
 * **Gen_dens** (:mod:`repro.core.patching`)    — patch the weighted fragment
   densities into the global charge density;
 * **GENPOT**   (:mod:`repro.core.genpot`)      — solve the global Poisson
@@ -27,7 +30,17 @@ from repro.core.division import SpatialDivision
 from repro.core.passivation import passivate_fragment
 from repro.core.patching import restrict_to_fragment, patch_fragment_fields
 from repro.core.genpot import GlobalPotentialSolver
-from repro.core.scf import LS3DFSCF, LS3DFResult
+from repro.core.fragment_task import (
+    ExecutionReport,
+    FragmentExecutor,
+    FragmentStateCache,
+    FragmentTask,
+    FragmentTaskResult,
+    clear_problem_cache,
+    solve_fragment_task,
+)
+from repro.core.fragment_solver import FragmentSolveResult, FragmentSolver
+from repro.core.scf import LS3DFSCF, LS3DFResult, IterationTimings
 from repro.core.driver import LS3DF
 from repro.core.compare import compare_ls3df_to_direct, ComparisonReport
 
@@ -41,8 +54,18 @@ __all__ = [
     "restrict_to_fragment",
     "patch_fragment_fields",
     "GlobalPotentialSolver",
+    "ExecutionReport",
+    "FragmentExecutor",
+    "FragmentStateCache",
+    "FragmentTask",
+    "FragmentTaskResult",
+    "clear_problem_cache",
+    "solve_fragment_task",
+    "FragmentSolveResult",
+    "FragmentSolver",
     "LS3DFSCF",
     "LS3DFResult",
+    "IterationTimings",
     "LS3DF",
     "compare_ls3df_to_direct",
     "ComparisonReport",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.atoms.structure import Structure
+from repro.core.fragment_task import FragmentExecutor
 from repro.core.scf import LS3DFResult, LS3DFSCF
 from repro.pw.basis import PlaneWaveBasis
 from repro.pw.eigensolver import EigensolverResult, all_band_cg
@@ -65,6 +66,12 @@ class LS3DF:
         Plane-wave cutoff (Hartree).
     pseudopotentials:
         Model pseudopotential set.
+    executor:
+        Fragment-execution backend (see
+        :class:`~repro.core.fragment_task.FragmentExecutor`); defaults to
+        the serial in-process backend.  Pass e.g.
+        ``ProcessPoolFragmentExecutor(n_workers=4)`` from
+        :mod:`repro.parallel.executor` to solve fragments concurrently.
     kwargs:
         Remaining options forwarded to :class:`repro.core.scf.LS3DFSCF`
         (buffer_cells, mixer, eigensolver, passivation switches, ...).
@@ -76,6 +83,7 @@ class LS3DF:
         grid_dims,
         ecut: float = 4.0,
         pseudopotentials: PseudopotentialSet | None = None,
+        executor: FragmentExecutor | None = None,
         **kwargs,
     ) -> None:
         self.structure = structure
@@ -85,9 +93,15 @@ class LS3DF:
             grid_dims,
             ecut=ecut,
             pseudopotentials=self.pseudopotentials,
+            executor=executor,
             **kwargs,
         )
         self.ecut = float(ecut)
+
+    @property
+    def executor(self) -> FragmentExecutor:
+        """The fragment-execution backend used by the SCF loop."""
+        return self.scf.executor
 
     # -- convenience accessors ------------------------------------------------
     @property

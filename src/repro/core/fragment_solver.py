@@ -1,14 +1,19 @@
-"""PEtot_F: the per-fragment Kohn-Sham solve.
+"""PEtot_F problem construction: passivation, screening potential, tasks.
 
 Each LS3DF fragment is an independent periodic plane-wave problem in its
 buffered box Omega_F: the Hamiltonian is built from the fragment's own
 atoms plus the passivation atoms (short-range local potential, smeared
 ionic potential, Kleinman-Bylander projectors), while the *self-consistent*
 screening part comes from the restriction of the global input potential
-produced by Gen_VF.  The solver keeps the fragment's wavefunctions between
-outer iterations (warm starts), which is exactly why subsequent LS3DF SCF
-iterations are much cheaper than the first one — the behaviour the paper
-relies on when timing "the second iteration".
+produced by Gen_VF.
+
+:class:`FragmentSolver` owns the parts of PEtot_F that need the spatial
+division — passivation and the fragment screening potential — and turns
+them into picklable :class:`~repro.core.fragment_task.FragmentTask`
+descriptions.  The solve itself is the shared kernel
+:func:`repro.core.fragment_task.solve_fragment_task`, the same code every
+execution backend in :mod:`repro.parallel.executor` runs; this class adds
+no second solve path.
 """
 
 from __future__ import annotations
@@ -19,11 +24,17 @@ import numpy as np
 
 from repro.atoms.structure import Structure
 from repro.core.division import SpatialDivision
+from repro.core.fragment_task import (
+    FragmentTask,
+    FragmentTaskResult,
+    TaskProblem,
+    build_task_problem,
+    seed_task_problem,
+    solve_fragment_task,
+)
 from repro.core.fragments import Fragment
 from repro.core.passivation import PassivationResult, passivate_fragment
 from repro.pw.basis import PlaneWaveBasis
-from repro.pw.density import compute_density, occupations_for_insulator
-from repro.pw.eigensolver import all_band_cg, band_by_band_cg
 from repro.pw.grid import FFTGrid
 from repro.pw.hamiltonian import Hamiltonian
 from repro.pw.hartree import hartree_potential
@@ -51,6 +62,10 @@ class FragmentSolveResult:
         Iterations used by the iterative eigensolver.
     converged:
         Eigensolver convergence flag.
+    wall_time:
+        Wall-clock seconds of this fragment's solve.
+    worker_pid:
+        PID of the process that executed the solve.
     """
 
     fragment: Fragment
@@ -60,6 +75,8 @@ class FragmentSolveResult:
     band_energy: float
     solver_iterations: int
     converged: bool
+    wall_time: float = 0.0
+    worker_pid: int = 0
 
 
 @dataclass
@@ -68,24 +85,47 @@ class FragmentProblem:
 
     Construction is the expensive "setup" the paper eliminated from the per-
     iteration cost by storing everything in the LS3DF global module; here it
-    is built once by :class:`FragmentSolver` and reused every iteration.
+    is built once by :class:`FragmentSolver`, seeded into the shared
+    per-process task-problem cache, and reused every iteration.  The
+    numerical pieces (grid, basis, Hamiltonian, band counts) live on the
+    wrapped :class:`~repro.core.fragment_task.TaskProblem` — the single
+    copy every backend uses — and are exposed here as read-only views.
     """
 
     fragment: Fragment
     structure: Structure
     passivation: PassivationResult
-    grid: FFTGrid
-    basis: PlaneWaveBasis
-    hamiltonian: Hamiltonian
     ionic_density: np.ndarray
-    nelectrons: int
-    nbands: int
-    occupations: np.ndarray
+    task_problem: TaskProblem = field(repr=False)
     wavefunctions: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def grid(self) -> FFTGrid:
+        return self.task_problem.grid
+
+    @property
+    def basis(self) -> PlaneWaveBasis:
+        return self.task_problem.basis
+
+    @property
+    def hamiltonian(self) -> Hamiltonian:
+        return self.task_problem.hamiltonian
+
+    @property
+    def nelectrons(self) -> int:
+        return self.task_problem.nelectrons
+
+    @property
+    def nbands(self) -> int:
+        return self.task_problem.nbands
+
+    @property
+    def occupations(self) -> np.ndarray:
+        return self.task_problem.occupations
 
 
 class FragmentSolver:
-    """Builds and solves the Kohn-Sham problems of all fragments.
+    """Builds the Kohn-Sham problems and solve tasks of all fragments.
 
     Parameters
     ----------
@@ -148,33 +188,48 @@ class FragmentSolver:
             )
         structure = passivation.structure
         grid = self.division.fragment_grid(fragment)
-        basis = PlaneWaveBasis(grid, self.ecut)
-        hamiltonian = Hamiltonian.from_structure(
-            structure, basis, self.pseudopotentials
-        )
+        # The basis/Hamiltonian/occupations construction is the shared
+        # kernel's — one build path for this solver and the pool workers.
+        template = self._static_task(fragment, structure, grid)
+        task_problem = build_task_problem(template)
         ionic_density = self.pseudopotentials.ionic_density(structure, grid)
-        nelectrons = structure.total_valence_electrons()
-        nbands = (nelectrons + 1) // 2 + self.n_empty
-        if nbands > basis.npw // 2:
-            raise ValueError(
-                f"fragment {key}: {nbands} bands exceed half the basis size "
-                f"({basis.npw} plane waves); increase ecut or the grid density"
-            )
-        occupations = occupations_for_insulator(nelectrons, nbands)
+        # Seed the shared per-process cache so the in-process backends
+        # (serial, threads) reuse this Hamiltonian instead of rebuilding it.
+        # Process pools benefit too on fork platforms: workers forked at
+        # first use inherit the seeded cache copy-on-write.
+        seed_task_problem(task_problem)
         problem = FragmentProblem(
             fragment=fragment,
             structure=structure,
             passivation=passivation,
-            grid=grid,
-            basis=basis,
-            hamiltonian=hamiltonian,
             ionic_density=ionic_density,
-            nelectrons=nelectrons,
-            nbands=nbands,
-            occupations=occupations,
+            task_problem=task_problem,
         )
         self._problems[key] = problem
         return problem
+
+    def _static_task(
+        self,
+        fragment: Fragment,
+        structure: Structure,
+        grid: FFTGrid,
+        screening_potential: np.ndarray | None = None,
+    ) -> FragmentTask:
+        """Task skeleton carrying the static problem data."""
+        return FragmentTask(
+            label=fragment.label,
+            cell=tuple(grid.cell),
+            grid_shape=tuple(grid.shape),
+            symbols=list(structure.symbols),
+            positions=structure.positions,
+            screening_potential=screening_potential,
+            ecut=self.ecut,
+            n_empty=self.n_empty,
+            eigensolver=self.eigensolver,
+            pseudopotentials=self.pseudopotentials,
+            weight=fragment.weight,
+            ncells=fragment.ncells,
+        )
 
     # ------------------------------------------------------------------
     def fragment_screening_potential(
@@ -213,6 +268,52 @@ class FragmentSolver:
             v = v - hartree_potential(rho_ion_pass - rho_cloud_pass, problem.grid)
         return v
 
+    # ------------------------------------------------------------------
+    def make_task(
+        self,
+        fragment: Fragment,
+        restricted_potential: np.ndarray,
+        eigensolver_tolerance: float = 1e-5,
+        eigensolver_iterations: int = 60,
+        initial_coefficients: np.ndarray | None = None,
+    ) -> FragmentTask:
+        """Picklable solve task for one fragment and one input potential.
+
+        This is what :class:`repro.core.scf.LS3DFSCF` hands to its
+        execution backend every outer iteration.
+        """
+        problem = self.build_problem(fragment)
+        v_screen = self.fragment_screening_potential(problem, restricted_potential)
+        task = self._static_task(
+            fragment, problem.structure, problem.grid, screening_potential=v_screen
+        )
+        task.tolerance = float(eigensolver_tolerance)
+        task.max_iterations = int(eigensolver_iterations)
+        task.initial_coefficients = initial_coefficients
+        return task
+
+    @staticmethod
+    def result_from_task(
+        fragment: Fragment, result: FragmentTaskResult
+    ) -> FragmentSolveResult:
+        """Attach the fragment object to a kernel result."""
+        if result.label != fragment.label:
+            raise ValueError(
+                f"task result {result.label!r} does not match fragment "
+                f"{fragment.label!r}"
+            )
+        return FragmentSolveResult(
+            fragment=fragment,
+            eigenvalues=result.eigenvalues,
+            density=result.density,
+            quantum_energy=result.quantum_energy,
+            band_energy=result.band_energy,
+            solver_iterations=result.solver_iterations,
+            converged=result.converged,
+            wall_time=result.wall_time,
+            worker_pid=result.worker_pid,
+        )
+
     def solve_fragment(
         self,
         fragment: Fragment,
@@ -220,41 +321,23 @@ class FragmentSolver:
         eigensolver_tolerance: float = 1e-5,
         eigensolver_iterations: int = 60,
     ) -> FragmentSolveResult:
-        """Solve one fragment for the given restricted global input potential."""
+        """Solve one fragment for the given restricted global input potential.
+
+        Convenience in-process entry point: builds the task (warm-started
+        from this solver's own per-fragment state) and runs the shared
+        kernel directly.
+        """
         problem = self.build_problem(fragment)
-        v_screen = self.fragment_screening_potential(problem, restricted_potential)
-        problem.hamiltonian.set_effective_potential(v_screen)
-        solver = all_band_cg if self.eigensolver == "all_band" else band_by_band_cg
-        result = solver(
-            problem.hamiltonian,
-            problem.nbands,
-            initial=problem.wavefunctions,
-            max_iterations=eigensolver_iterations,
-            tolerance=eigensolver_tolerance,
+        task = self.make_task(
+            fragment,
+            restricted_potential,
+            eigensolver_tolerance=eigensolver_tolerance,
+            eigensolver_iterations=eigensolver_iterations,
+            initial_coefficients=problem.wavefunctions,
         )
+        result = solve_fragment_task(task, problem=problem.task_problem)
         problem.wavefunctions = result.coefficients
-        density = compute_density(
-            problem.basis, result.coefficients, problem.occupations
-        )
-        # Quantum energy: kinetic + short-range ionic + nonlocal only (the
-        # screening/electrostatic parts are assembled globally by GENPOT).
-        saved = problem.hamiltonian.v_screening
-        problem.hamiltonian.v_screening = np.zeros_like(saved)
-        try:
-            expect = problem.hamiltonian.expectation(result.coefficients)
-        finally:
-            problem.hamiltonian.v_screening = saved
-        quantum_energy = float(np.sum(problem.occupations * expect))
-        band_energy = float(np.sum(problem.occupations * result.eigenvalues))
-        return FragmentSolveResult(
-            fragment=fragment,
-            eigenvalues=result.eigenvalues,
-            density=density,
-            quantum_energy=quantum_energy,
-            band_energy=band_energy,
-            solver_iterations=result.iterations,
-            converged=result.converged,
-        )
+        return self.result_from_task(fragment, result)
 
     # ------------------------------------------------------------------
     def problems(self) -> dict[str, FragmentProblem]:

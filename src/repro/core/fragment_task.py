@@ -1,0 +1,385 @@
+"""The single fragment-solve kernel shared by every execution backend.
+
+PEtot_F — solving each fragment's Kohn-Sham problem in its buffered,
+passivated box — is the embarrassingly parallel step the paper exploits
+for near-perfect scaling.  This module is the one place that step is
+implemented:
+
+* :class:`FragmentTask` is a *picklable*, self-contained description of
+  one fragment solve (geometry, passivated atoms, screening potential,
+  solver controls, optional warm-start wavefunctions), mirroring the way
+  the production code ships fragment data between MPI groups rather than
+  live solver objects.
+* :func:`solve_fragment_task` executes one task.  It is the kernel that
+  :class:`repro.core.fragment_solver.FragmentSolver` calls in-process and
+  that the executors in :mod:`repro.parallel.executor` call from worker
+  threads or processes.
+* A per-process cache of the static (iteration-independent) problem data
+  — basis, Hamiltonian, occupations — reproduces the paper's "store
+  everything in the LS3DF global module" optimisation: the expensive
+  setup happens once per fragment per process, so the second and later
+  outer iterations are cheap even inside pool workers.
+* :class:`FragmentStateCache` holds warm-start wavefunctions per fragment
+  *outside* any particular backend, so warm starts survive no matter
+  which executor (serial, threads, processes) ran the previous iteration.
+* :class:`FragmentExecutor` is the protocol every backend implements.
+
+Layering note: this module deliberately depends only on the plane-wave
+substrate (:mod:`repro.pw`) and :mod:`repro.atoms`; the backends in
+:mod:`repro.parallel.executor` depend on it, never the other way round.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.atoms.structure import Structure
+from repro.pw.basis import PlaneWaveBasis
+from repro.pw.density import compute_density, occupations_for_insulator
+from repro.pw.eigensolver import all_band_cg, band_by_band_cg
+from repro.pw.grid import FFTGrid
+from repro.pw.hamiltonian import Hamiltonian
+from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotentials
+
+
+@dataclass
+class FragmentTask:
+    """Self-contained description of one fragment solve (picklable).
+
+    Attributes
+    ----------
+    label:
+        Fragment label (bookkeeping; also the warm-start cache key).
+    cell:
+        Fragment box edge lengths (Bohr).
+    grid_shape:
+        Fragment FFT grid shape.
+    symbols, positions:
+        Fragment atoms (including passivants).
+    screening_potential:
+        The Gen_VF output for this fragment (restricted global potential
+        plus passivation potential).  May be ``None`` on template tasks
+        used only for fingerprinting/problem construction; a task handed
+        to :func:`solve_fragment_task` must carry a real array.
+    ecut:
+        Plane-wave cutoff (Hartree).
+    n_empty:
+        Extra empty bands.
+    eigensolver:
+        ``"all_band"`` (BLAS-3) or ``"band_by_band"`` (BLAS-2 reference).
+    tolerance, max_iterations:
+        Eigensolver controls.
+    initial_coefficients:
+        Optional warm-start wavefunctions (previous outer iteration).
+    pseudopotentials:
+        Model pseudopotential set; ``None`` means the default set.
+    weight:
+        The fragment's patching weight alpha_F (carried for bookkeeping).
+    ncells:
+        Number of grid cells the fragment covers (1..8); the primary
+        relative-cost signal for load balancing.
+    cost_hint:
+        Optional explicit relative cost for the scheduler; when ``None``
+        an estimate from the grid volume is used (see :meth:`cost`).
+    return_coefficients:
+        Ship the converged wavefunctions back in the result (needed for
+        warm starts across iterations; the default).
+    """
+
+    label: str
+    cell: tuple[float, float, float]
+    grid_shape: tuple[int, int, int]
+    symbols: list[str]
+    positions: np.ndarray
+    screening_potential: np.ndarray | None
+    ecut: float
+    n_empty: int = 2
+    eigensolver: str = "all_band"
+    tolerance: float = 1e-5
+    max_iterations: int = 60
+    initial_coefficients: np.ndarray | None = None
+    pseudopotentials: PseudopotentialSet | None = None
+    weight: int = 1
+    ncells: int = 1
+    cost_hint: float | None = None
+    return_coefficients: bool = True
+
+    def cost(self) -> float:
+        """Relative cost for load balancing (grid volume as npw proxy)."""
+        if self.cost_hint is not None:
+            return float(self.cost_hint)
+        return float(np.prod(self.grid_shape))
+
+    def static_fingerprint(self) -> str:
+        """Digest of the iteration-independent problem data.
+
+        Two tasks with equal fingerprints share basis, Hamiltonian and
+        occupations, so the cached static problem may be reused across
+        outer iterations (only the screening potential changes).
+        """
+        h = hashlib.sha256()
+        h.update(self.label.encode())
+        h.update(np.asarray(self.cell, dtype=float).tobytes())
+        h.update(np.asarray(self.grid_shape, dtype=np.int64).tobytes())
+        h.update(",".join(self.symbols).encode())
+        h.update(np.ascontiguousarray(self.positions, dtype=float).tobytes())
+        h.update(np.float64(self.ecut).tobytes())
+        h.update(np.int64(self.n_empty).tobytes())
+        if self.pseudopotentials is not None:
+            h.update(pickle.dumps(self.pseudopotentials))
+        return h.hexdigest()
+
+
+@dataclass
+class FragmentTaskResult:
+    """Result of one executed fragment task."""
+
+    label: str
+    eigenvalues: np.ndarray
+    density: np.ndarray
+    quantum_energy: float
+    band_energy: float
+    solver_iterations: int
+    converged: bool
+    wall_time: float
+    worker_pid: int
+    coefficients: np.ndarray | None = None
+
+
+@dataclass
+class TaskProblem:
+    """Static (iteration-independent) data of one fragment task's problem.
+
+    Building this — plane-wave basis, Hamiltonian with non-local
+    projectors — is the expensive setup the paper keeps resident in the
+    LS3DF global module between iterations; here it is cached per process
+    keyed by :meth:`FragmentTask.static_fingerprint`.
+    """
+
+    fingerprint: str
+    structure: Structure
+    grid: FFTGrid
+    basis: PlaneWaveBasis
+    hamiltonian: Hamiltonian
+    nelectrons: int
+    nbands: int
+    occupations: np.ndarray
+    # Guards the Hamiltonian's mutable potential during a solve: two tasks
+    # with the same fingerprint share this problem, and the thread backend
+    # may run them concurrently.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+
+def build_task_problem(task: FragmentTask) -> TaskProblem:
+    """Construct the static problem of one task (no caching)."""
+    structure = Structure(task.cell, list(task.symbols), task.positions)
+    grid = FFTGrid(task.cell, task.grid_shape)
+    basis = PlaneWaveBasis(grid, task.ecut)
+    pps = task.pseudopotentials or default_pseudopotentials()
+    hamiltonian = Hamiltonian.from_structure(structure, basis, pps)
+    nelectrons = structure.total_valence_electrons()
+    nbands = (nelectrons + 1) // 2 + int(task.n_empty)
+    if nbands > basis.npw // 2:
+        raise ValueError(
+            f"fragment {task.label}: {nbands} bands exceed half the basis size "
+            f"({basis.npw} plane waves); increase ecut or the grid density"
+        )
+    occupations = occupations_for_insulator(nelectrons, nbands)
+    return TaskProblem(
+        fingerprint=task.static_fingerprint(),
+        structure=structure,
+        grid=grid,
+        basis=basis,
+        hamiltonian=hamiltonian,
+        nelectrons=nelectrons,
+        nbands=nbands,
+        occupations=occupations,
+    )
+
+
+# Per-process static-problem cache (LRU).  Worker processes populate it on
+# their first iteration and hit it afterwards — the reason LS3DF's "second
+# iteration" is cheap holds inside pool workers too.  The bound must exceed
+# the fragment count of one run (8 * m1 * m2 * m3) or the cache thrashes,
+# rebuilding every Hamiltonian every iteration; beyond that it only limits
+# how much a many-structure session can pin.  Call
+# :func:`clear_problem_cache` to release the memory explicitly.
+_PROBLEM_CACHE: dict[str, TaskProblem] = {}
+_PROBLEM_CACHE_MAX = 4096
+_PROBLEM_CACHE_LOCK = threading.Lock()
+
+
+def _cache_insert(key: str, problem: TaskProblem) -> None:
+    with _PROBLEM_CACHE_LOCK:
+        _PROBLEM_CACHE.pop(key, None)
+        while len(_PROBLEM_CACHE) >= _PROBLEM_CACHE_MAX:
+            _PROBLEM_CACHE.pop(next(iter(_PROBLEM_CACHE)))  # evict least recent
+        _PROBLEM_CACHE[key] = problem
+
+
+def get_task_problem(task: FragmentTask) -> TaskProblem:
+    """Fetch (or build and cache) the static problem of one task."""
+    key = task.static_fingerprint()
+    with _PROBLEM_CACHE_LOCK:
+        problem = _PROBLEM_CACHE.get(key)
+    if problem is None:
+        problem = build_task_problem(task)
+    _cache_insert(key, problem)  # (re)insert to refresh LRU order
+    return problem
+
+
+def seed_task_problem(problem: TaskProblem) -> None:
+    """Insert an externally built static problem into the process cache.
+
+    :class:`repro.core.fragment_solver.FragmentSolver` uses this so the
+    in-process backends never rebuild a Hamiltonian the solver already has.
+    """
+    _cache_insert(problem.fingerprint, problem)
+
+
+def clear_problem_cache() -> None:
+    """Drop all cached static problems (tests / memory pressure)."""
+    with _PROBLEM_CACHE_LOCK:
+        _PROBLEM_CACHE.clear()
+
+
+def solve_fragment_task(
+    task: FragmentTask, problem: TaskProblem | None = None
+) -> FragmentTaskResult:
+    """Solve one fragment task — THE shared PEtot_F kernel.
+
+    Runs identically in the calling process (serial backend, thread
+    backend, :class:`~repro.core.fragment_solver.FragmentSolver`) and
+    inside process-pool workers.  ``problem`` may be passed to bypass the
+    per-process cache lookup when the caller already holds the static data.
+    """
+    t0 = time.perf_counter()
+    if task.screening_potential is None:
+        raise ValueError(f"task {task.label!r} has no screening potential")
+    if problem is None:
+        problem = get_task_problem(task)
+    hamiltonian = problem.hamiltonian
+    with problem.lock:
+        hamiltonian.set_effective_potential(np.asarray(task.screening_potential))
+        solver = all_band_cg if task.eigensolver == "all_band" else band_by_band_cg
+        result = solver(
+            hamiltonian,
+            problem.nbands,
+            initial=task.initial_coefficients,
+            max_iterations=task.max_iterations,
+            tolerance=task.tolerance,
+        )
+        density = compute_density(
+            problem.basis, result.coefficients, problem.occupations
+        )
+        # Quantum energy: kinetic + short-range ionic + nonlocal only (the
+        # screening/electrostatic parts are assembled globally by GENPOT).
+        saved = hamiltonian.v_screening
+        hamiltonian.v_screening = np.zeros_like(saved)
+        try:
+            expect = hamiltonian.expectation(result.coefficients)
+        finally:
+            hamiltonian.v_screening = saved
+    quantum_energy = float(np.sum(problem.occupations * expect))
+    band_energy = float(np.sum(problem.occupations * result.eigenvalues))
+    return FragmentTaskResult(
+        label=task.label,
+        eigenvalues=result.eigenvalues,
+        density=density,
+        quantum_energy=quantum_energy,
+        band_energy=band_energy,
+        solver_iterations=result.iterations,
+        converged=result.converged,
+        wall_time=time.perf_counter() - t0,
+        worker_pid=os.getpid(),
+        coefficients=result.coefficients if task.return_coefficients else None,
+    )
+
+
+class FragmentStateCache:
+    """Executor-agnostic warm-start store, keyed by fragment label.
+
+    The outer SCF loop fills tasks' ``initial_coefficients`` from here and
+    writes converged coefficients back after every iteration, so fragments
+    warm-start across outer iterations regardless of which backend (or
+    which pool worker) solved them last time.
+    """
+
+    def __init__(self) -> None:
+        self._coefficients: dict[str, np.ndarray] = {}
+
+    def get(self, label: str) -> np.ndarray | None:
+        return self._coefficients.get(label)
+
+    def update(self, results: Sequence[FragmentTaskResult]) -> None:
+        for res in results:
+            if res.coefficients is not None:
+                self._coefficients[res.label] = res.coefficients
+
+    def clear(self) -> None:
+        self._coefficients.clear()
+
+    def __len__(self) -> int:
+        return len(self._coefficients)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._coefficients
+
+
+@runtime_checkable
+class FragmentExecutor(Protocol):
+    """Protocol every fragment-execution backend implements.
+
+    Backends take a batch of :class:`FragmentTask` and return an
+    execution report whose ``results`` list is ordered like the input
+    tasks.  Implementations live in :mod:`repro.parallel.executor`
+    (serial, thread pool, process pool); anything with this shape — e.g.
+    an MPI- or cluster-backed mapper — plugs into
+    :class:`repro.core.scf.LS3DFSCF` the same way.
+    """
+
+    n_workers: int
+
+    def run(self, tasks: Sequence[FragmentTask]) -> "ExecutionReport": ...
+
+
+@dataclass
+class ExecutionReport:
+    """Timing summary of one batch of fragment solves."""
+
+    results: list[FragmentTaskResult]
+    wall_time: float
+    worker_count: int
+    schedule: object | None = None
+
+    @property
+    def total_cpu_time(self) -> float:
+        return float(sum(r.wall_time for r in self.results))
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """total task time / (workers * wall time); 1.0 is ideal."""
+        if self.wall_time <= 0 or self.worker_count <= 0:
+            return 0.0
+        return self.total_cpu_time / (self.worker_count * self.wall_time)
+
+    @property
+    def speedup(self) -> float:
+        """total task time / wall time — the measured PEtot_F speedup."""
+        if self.wall_time <= 0:
+            return 0.0
+        return self.total_cpu_time / self.wall_time
+
+    @property
+    def distinct_workers(self) -> int:
+        return len({r.worker_pid for r in self.results})

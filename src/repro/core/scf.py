@@ -2,9 +2,13 @@
 
 Every iteration performs the four steps Gen_VF -> PEtot_F -> Gen_dens ->
 GENPOT.  Fragment solves are independent of each other — the property the
-paper exploits for near-perfect parallel scaling — so they may optionally
-be dispatched to a process pool (:mod:`repro.parallel.executor`); the
-algorithmic driver here is agnostic to how they are executed.
+paper exploits for near-perfect parallel scaling — so PEtot_F is executed
+through a pluggable backend implementing the
+:class:`repro.core.fragment_task.FragmentExecutor` protocol: the serial
+default, a thread pool, or a process pool
+(:mod:`repro.parallel.executor`).  The loop itself only builds picklable
+fragment tasks and consumes their results; it never cares *where* a
+fragment was solved.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import numpy as np
 from repro.atoms.structure import Structure
 from repro.core.division import SpatialDivision
 from repro.core.fragment_solver import FragmentSolveResult, FragmentSolver
+from repro.core.fragment_task import FragmentExecutor, FragmentStateCache
 from repro.core.fragments import Fragment, enumerate_fragments
 from repro.core.genpot import GlobalPotentialSolver
 from repro.core.patching import patch_fragment_fields, restrict_to_fragment
@@ -27,16 +32,36 @@ from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotential
 
 @dataclass
 class IterationTimings:
-    """Wall-clock split of one LS3DF iteration over the paper's four steps."""
+    """Wall-clock split of one LS3DF iteration over the paper's four steps.
+
+    ``petot_f`` is the wall-clock time of the whole PEtot_F step as seen
+    by the outer loop; ``petot_f_fragments`` holds each fragment's own
+    solve time (in fragment order), so real speedups and parallel
+    efficiencies can be measured instead of modelled.
+    """
 
     gen_vf: float = 0.0
     petot_f: float = 0.0
     gen_dens: float = 0.0
     genpot: float = 0.0
+    petot_f_fragments: list[float] = field(default_factory=list)
+    petot_f_workers: int = 1
 
     @property
     def total(self) -> float:
         return self.gen_vf + self.petot_f + self.gen_dens + self.genpot
+
+    @property
+    def petot_f_cpu(self) -> float:
+        """Summed per-fragment solve time (serial-equivalent PEtot_F cost)."""
+        return float(sum(self.petot_f_fragments))
+
+    @property
+    def petot_f_speedup(self) -> float:
+        """Measured PEtot_F speedup: summed fragment time / wall time."""
+        if self.petot_f <= 0:
+            return 0.0
+        return self.petot_f_cpu / self.petot_f
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -118,10 +143,14 @@ class LS3DFSCF:
         Fragment eigensolver algorithm.
     passivate, polar_passivation:
         Fragment surface passivation options.
-    fragment_map:
-        Optional callable ``(solve_tasks) -> results`` used to execute the
-        independent fragment solves (e.g. a multiprocessing pool map); the
-        default executes them serially in-process.
+    executor:
+        Fragment-execution backend implementing the
+        :class:`~repro.core.fragment_task.FragmentExecutor` protocol; the
+        default :class:`~repro.parallel.executor.SerialFragmentExecutor`
+        solves fragments one after another in-process.  Pass a
+        :class:`~repro.parallel.executor.ThreadPoolFragmentExecutor` or
+        :class:`~repro.parallel.executor.ProcessPoolFragmentExecutor` to
+        solve the independent fragment problems concurrently.
     """
 
     def __init__(
@@ -139,6 +168,7 @@ class LS3DFSCF:
         passivate: bool = True,
         polar_passivation: bool = True,
         points_per_bohr: float | None = None,
+        executor: FragmentExecutor | None = None,
     ) -> None:
         self.structure = structure
         self.grid_dims = tuple(int(m) for m in grid_dims)
@@ -167,6 +197,15 @@ class LS3DFSCF:
             mixer=mixer,
             mixer_options=mixer_options,
         )
+        if executor is None:
+            # Imported lazily: repro.parallel.executor depends on
+            # repro.core.fragment_task, so a module-level import here would
+            # be circular.
+            from repro.parallel.executor import SerialFragmentExecutor
+
+            executor = SerialFragmentExecutor()
+        self.executor = executor
+        self.state_cache = FragmentStateCache()
 
     # ------------------------------------------------------------------
     def _default_grid(self, points_per_bohr: float | None) -> FFTGrid:
@@ -246,18 +285,28 @@ class LS3DFSCF:
             ]
             t.gen_vf = time.perf_counter() - t0
 
-            # --- PEtot_F: solve every fragment (independent problems).
+            # --- PEtot_F: solve every fragment (independent problems)
+            # through the pluggable execution backend.
             t0 = time.perf_counter()
-            frag_results = [
-                self.fragment_solver.solve_fragment(
+            tasks = [
+                self.fragment_solver.make_task(
                     f,
                     r,
                     eigensolver_tolerance=eigensolver_tolerance,
                     eigensolver_iterations=eigensolver_iterations,
+                    initial_coefficients=self.state_cache.get(f.label),
                 )
                 for f, r in zip(self.fragments, restricted)
             ]
+            report = self.executor.run(tasks)
+            self.state_cache.update(report.results)
+            frag_results = [
+                FragmentSolver.result_from_task(f, res)
+                for f, res in zip(self.fragments, report.results)
+            ]
             t.petot_f = time.perf_counter() - t0
+            t.petot_f_fragments = [res.wall_time for res in report.results]
+            t.petot_f_workers = report.worker_count
 
             # --- Gen_dens: patch the fragment densities into the global one.
             t0 = time.perf_counter()

@@ -20,7 +20,9 @@ explicit execution model:
 * :mod:`repro.parallel.perfmodel` — the execution model that combines all of
   the above into per-iteration times, Tflop/s and %-of-peak figures;
 * :mod:`repro.parallel.amdahl`    — Amdahl's-law fitting used for Figure 3;
-* :mod:`repro.parallel.executor`  — a *real* process-pool executor for
+* :mod:`repro.parallel.executor`  — *real* fragment-execution backends
+  (serial, thread pool, persistent process pool) behind the
+  :class:`repro.core.fragment_task.FragmentExecutor` protocol, for
   running actual fragment solves concurrently on local cores.
 """
 
@@ -31,7 +33,16 @@ from repro.parallel.flops import LS3DFWorkload, FragmentWork
 from repro.parallel.comm import CommunicationModel, CommScheme
 from repro.parallel.perfmodel import LS3DFPerformanceModel, PerformancePoint, DirectDFTCostModel
 from repro.parallel.amdahl import amdahl_speedup, fit_amdahl, AmdahlFit
-from repro.parallel.executor import ProcessPoolFragmentExecutor, SerialFragmentExecutor
+from repro.parallel.executor import (
+    ExecutionReport,
+    FragmentExecutor,
+    FragmentTask,
+    FragmentTaskResult,
+    ProcessPoolFragmentExecutor,
+    SerialFragmentExecutor,
+    ThreadPoolFragmentExecutor,
+    solve_fragment_task,
+)
 
 __all__ = [
     "Machine",
@@ -52,6 +63,12 @@ __all__ = [
     "amdahl_speedup",
     "fit_amdahl",
     "AmdahlFit",
+    "ExecutionReport",
+    "FragmentExecutor",
+    "FragmentTask",
+    "FragmentTaskResult",
     "ProcessPoolFragmentExecutor",
     "SerialFragmentExecutor",
+    "ThreadPoolFragmentExecutor",
+    "solve_fragment_task",
 ]

@@ -66,35 +66,22 @@ class FragmentScheduler:
         self, fragments: Sequence[Fragment], ngroups: int
     ) -> ScheduleSummary:
         """Assign fragments to ``ngroups`` groups with the LPT heuristic."""
-        if ngroups < 1:
-            raise ValueError("ngroups must be positive")
-        costs = self.fragment_costs(fragments)
-        order = np.argsort(costs)[::-1]  # heaviest first
-        heap: list[tuple[float, int]] = [(0.0, g) for g in range(ngroups)]
-        heapq.heapify(heap)
-        assignments: list[list[int]] = [[] for _ in range(ngroups)]
-        loads = np.zeros(ngroups)
-        for idx in order:
-            load, group = heapq.heappop(heap)
-            assignments[group].append(int(idx))
-            load += float(costs[idx])
-            loads[group] = load
-            heapq.heappush(heap, (load, group))
-        mean_load = float(np.mean(loads)) if ngroups else 0.0
-        makespan = float(np.max(loads)) if ngroups else 0.0
-        imbalance = makespan / mean_load if mean_load > 0 else 1.0
-        return ScheduleSummary(
-            assignments=assignments,
-            group_loads=loads,
-            imbalance=imbalance,
-            makespan=makespan,
-        )
+        return self.schedule_by_costs(self.fragment_costs(fragments), ngroups)
+
+    def schedule_tasks(self, tasks: Sequence, ngroups: int) -> ScheduleSummary:
+        """Assign :class:`repro.core.fragment_task.FragmentTask` batches.
+
+        Uses each task's own relative-cost estimate (``task.cost()``);
+        this is the entry point the pool executors use to balance one
+        PEtot_F batch over their workers.
+        """
+        return self.schedule_by_costs([t.cost() for t in tasks], ngroups)
 
     def schedule_by_costs(self, costs: Sequence[float], ngroups: int) -> ScheduleSummary:
-        """Same as :meth:`schedule`, but for explicit cost values.
+        """Core LPT assignment for explicit cost values.
 
-        Used by the performance model, which works with fragment size
-        classes rather than concrete Fragment objects.
+        Also used by the performance model, which works with fragment
+        size classes rather than concrete Fragment objects.
         """
         if ngroups < 1:
             raise ValueError("ngroups must be positive")

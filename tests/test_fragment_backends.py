@@ -1,0 +1,238 @@
+"""Tests for the pluggable fragment-execution backend layer.
+
+Covers the ISSUE-1 acceptance criteria: picklable task round-trips, the
+serial / thread / process backends all running the one shared kernel and
+producing identical results (also end-to-end through LS3DFSCF), LPT load
+balancing, and warm-start reuse across outer iterations.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.atoms.toy import cscl_binary
+from repro.core.fragment_task import (
+    FragmentExecutor,
+    FragmentStateCache,
+    FragmentTask,
+    solve_fragment_task,
+)
+from repro.core.scf import LS3DFSCF
+from repro.parallel.executor import (
+    ProcessPoolFragmentExecutor,
+    SerialFragmentExecutor,
+    ThreadPoolFragmentExecutor,
+)
+from repro.pw.grid import FFTGrid
+
+
+def _make_task(label="frag", ncells=1) -> FragmentTask:
+    structure = cscl_binary((1, 1, 1), "Zn", "O", 6.0)
+    grid = FFTGrid(structure.cell, (10, 10, 10))
+    return FragmentTask(
+        label=label,
+        cell=tuple(structure.cell),
+        grid_shape=grid.shape,
+        symbols=structure.symbols,
+        positions=structure.positions,
+        screening_potential=np.zeros(grid.shape),
+        ecut=2.0,
+        n_empty=1,
+        tolerance=1e-4,
+        max_iterations=40,
+        ncells=ncells,
+    )
+
+
+def _tiny_scf(executor=None) -> LS3DFSCF:
+    structure = cscl_binary((2, 1, 1), "Zn", "O", 6.0)
+    return LS3DFSCF(
+        structure,
+        grid_dims=(2, 1, 1),
+        ecut=2.2,
+        buffer_cells=0.5,
+        n_empty=2,
+        mixer="kerker",
+        executor=executor,
+    )
+
+
+_RUN_KW = dict(
+    max_iterations=3,
+    potential_tolerance=1e-6,  # never met in 3 iterations: fixed work
+    eigensolver_tolerance=1e-4,
+    eigensolver_iterations=40,
+)
+
+
+# --- task / kernel ----------------------------------------------------------------
+
+def test_fragment_task_pickle_roundtrip():
+    task = _make_task()
+    task.initial_coefficients = np.zeros((3, 5), dtype=complex)
+    clone = pickle.loads(pickle.dumps(task))
+    assert clone.label == task.label
+    assert clone.static_fingerprint() == task.static_fingerprint()
+    assert np.array_equal(clone.positions, task.positions)
+    assert np.array_equal(clone.screening_potential, task.screening_potential)
+    assert np.array_equal(clone.initial_coefficients, task.initial_coefficients)
+
+
+def test_fingerprint_ignores_iteration_state_but_not_geometry():
+    a, b = _make_task(), _make_task()
+    b.screening_potential = np.ones(b.grid_shape)
+    b.tolerance = 1e-9
+    b.initial_coefficients = np.zeros((2, 2), dtype=complex)
+    assert a.static_fingerprint() == b.static_fingerprint()
+    c = _make_task()
+    c.positions = c.positions + 0.1
+    assert c.static_fingerprint() != a.static_fingerprint()
+
+
+def test_all_backends_run_the_same_kernel_identically():
+    tasks = [_make_task(f"f{i}") for i in range(3)]
+    reference = [solve_fragment_task(t) for t in tasks]
+    for executor in (
+        SerialFragmentExecutor(),
+        ThreadPoolFragmentExecutor(n_workers=2),
+        ProcessPoolFragmentExecutor(n_workers=2),
+    ):
+        with executor:
+            report = executor.run(tasks)
+        assert [r.label for r in report.results] == [t.label for t in tasks]
+        for got, ref in zip(report.results, reference):
+            np.testing.assert_allclose(got.eigenvalues, ref.eigenvalues, rtol=1e-10)
+            np.testing.assert_allclose(got.density, ref.density, rtol=1e-10)
+            assert got.quantum_energy == pytest.approx(ref.quantum_energy, rel=1e-10)
+
+
+def test_thread_backend_same_fingerprint_tasks_do_not_race():
+    # Two tasks sharing one static fingerprint (same label + geometry) but
+    # different potentials share one cached Hamiltonian; the per-problem
+    # lock must serialise them so concurrent execution stays correct.
+    task_a = _make_task("same")
+    task_b = _make_task("same")
+    task_b.screening_potential = np.full(task_b.grid_shape, 0.05)
+    assert task_a.static_fingerprint() == task_b.static_fingerprint()
+    ref_a = solve_fragment_task(task_a)
+    ref_b = solve_fragment_task(task_b)
+    assert not np.allclose(ref_a.eigenvalues, ref_b.eigenvalues)
+    for _ in range(3):  # a few rounds to give a race a chance to show
+        with ThreadPoolFragmentExecutor(n_workers=2) as executor:
+            report = executor.run([task_a, task_b])
+        np.testing.assert_allclose(report.results[0].eigenvalues, ref_a.eigenvalues, rtol=1e-10)
+        np.testing.assert_allclose(report.results[1].eigenvalues, ref_b.eigenvalues, rtol=1e-10)
+
+
+def test_executors_satisfy_protocol():
+    for executor in (
+        SerialFragmentExecutor(),
+        ThreadPoolFragmentExecutor(n_workers=1),
+        ProcessPoolFragmentExecutor(n_workers=1),
+    ):
+        assert isinstance(executor, FragmentExecutor)
+
+
+def test_worker_count_spellings_and_validation():
+    assert ProcessPoolFragmentExecutor(n_workers=3).n_workers == 3
+    assert ProcessPoolFragmentExecutor(nworkers=3).n_workers == 3  # legacy
+    assert ProcessPoolFragmentExecutor(nworkers=3).nworkers == 3
+    with pytest.raises(ValueError):
+        ProcessPoolFragmentExecutor(n_workers=0)
+    with pytest.raises(ValueError):
+        ThreadPoolFragmentExecutor(nworkers=-1)
+
+
+def test_pool_report_carries_lpt_schedule():
+    # Mixed fragment classes: costs differ, LPT must balance the groups.
+    tasks = [_make_task(f"f{i}", ncells=c) for i, c in enumerate([8, 1, 1, 8, 2, 4])]
+    for t in tasks:
+        t.cost_hint = float(t.ncells)
+    with ThreadPoolFragmentExecutor(n_workers=2) as executor:
+        report = executor.run(tasks)
+    assert report.schedule is not None
+    assigned = sorted(i for group in report.schedule.assignments for i in group)
+    assert assigned == list(range(len(tasks)))
+    assert report.schedule.imbalance < 1.5
+    assert len(report.results) == len(tasks)
+
+
+# --- SCF equivalence (acceptance criterion) ---------------------------------------
+
+def test_scf_process_pool_matches_serial():
+    serial = _tiny_scf().run(**_RUN_KW)
+    with ProcessPoolFragmentExecutor(n_workers=2) as executor:
+        pooled = _tiny_scf(executor=executor).run(**_RUN_KW)
+    assert pooled.iterations == serial.iterations
+    np.testing.assert_allclose(pooled.density, serial.density, rtol=1e-8)
+    assert pooled.total_energy == pytest.approx(serial.total_energy, rel=1e-8)
+    assert pooled.quantum_energy == pytest.approx(serial.quantum_energy, rel=1e-8)
+    np.testing.assert_allclose(
+        pooled.convergence_history, serial.convergence_history, rtol=1e-8
+    )
+
+
+def test_scf_thread_pool_matches_serial():
+    serial = _tiny_scf().run(**_RUN_KW)
+    with ThreadPoolFragmentExecutor(n_workers=2) as executor:
+        threaded = _tiny_scf(executor=executor).run(**_RUN_KW)
+    np.testing.assert_allclose(threaded.density, serial.density, rtol=1e-8)
+    assert threaded.total_energy == pytest.approx(serial.total_energy, rel=1e-8)
+
+
+# --- warm starts ------------------------------------------------------------------
+
+class _RecordingExecutor(SerialFragmentExecutor):
+    """Serial backend that records every task batch it executes."""
+
+    def __init__(self):
+        super().__init__()
+        self.batches = []
+
+    def run(self, tasks):
+        self.batches.append(list(tasks))
+        return super().run(tasks)
+
+
+def test_warm_start_cache_reused_across_outer_iterations():
+    recorder = _RecordingExecutor()
+    scf = _tiny_scf(executor=recorder)
+    result = scf.run(max_iterations=2, potential_tolerance=1e-9,
+                     eigensolver_tolerance=1e-4, eigensolver_iterations=40)
+    assert result.iterations == 2
+    assert len(recorder.batches) == 2
+    first, second = recorder.batches
+    # Iteration 1 starts cold, iteration 2 warm-starts from the cache.
+    assert all(t.initial_coefficients is None for t in first)
+    assert all(t.initial_coefficients is not None for t in second)
+    assert len(scf.state_cache) == scf.nfragments
+    for frag in scf.fragments:
+        assert frag.label in scf.state_cache
+    # Warm starts make the second iteration no more expensive than the first
+    # (the paper's "second iteration is cheap" property).
+    assert result.timings[0].petot_f_fragments
+    assert result.timings[1].petot_f_cpu <= result.timings[0].petot_f_cpu * 1.5
+
+
+def test_state_cache_api():
+    cache = FragmentStateCache()
+    assert cache.get("x") is None and len(cache) == 0
+    task = _make_task("x")
+    res = solve_fragment_task(task)
+    cache.update([res])
+    assert "x" in cache and cache.get("x") is not None
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_timings_record_per_fragment_wall_times():
+    scf = _tiny_scf()
+    result = scf.run(max_iterations=1, potential_tolerance=1e-9,
+                     eigensolver_tolerance=1e-4, eigensolver_iterations=40)
+    t = result.timings[0]
+    assert len(t.petot_f_fragments) == scf.nfragments
+    assert all(w > 0 for w in t.petot_f_fragments)
+    assert t.petot_f_cpu <= t.petot_f * 1.05  # serial: summed ~<= wall
+    assert t.petot_f_workers == 1
+    assert t.petot_f_speedup > 0

@@ -95,6 +95,60 @@ def test_fig3_measured_strong_scaling(results_dir):
 
 
 @pytest.mark.paper_experiment
+def test_fig3_measured_serial_fraction(results_dir):
+    """Measured (not modelled) serial fraction of real LS3DF iterations.
+
+    The paper's Figure-3 Amdahl fit infers the serial fraction from the
+    scaling curve; here it is measured directly from per-iteration
+    timings — serial driver time vs. summed per-fragment time — for the
+    unfused seed path and for the fused fragment pipeline, which moves
+    the Gen_VF/Gen_dens per-fragment loops out of the driver's serial
+    section.  Timing ratios are recorded data, not gates (the CI box may
+    have one loaded core); only structural sanity is asserted.
+    """
+    from repro.atoms.toy import cscl_binary
+    from repro.core.scf import LS3DFSCF
+    from repro.parallel.amdahl import serial_fraction_history
+
+    def run(pipeline):
+        structure = cscl_binary((2, 1, 1), "Zn", "O", 6.0)
+        scf = LS3DFSCF(structure, grid_dims=(2, 1, 1), ecut=2.2,
+                       buffer_cells=0.5, n_empty=2, mixer="kerker",
+                       pipeline=pipeline)
+        return scf.run(max_iterations=2, potential_tolerance=1e-9,
+                       eigensolver_tolerance=1e-4, eigensolver_iterations=40)
+
+    unfused = run(False)
+    fused = run(True)
+    rows = []
+    for label, result in (("unfused", unfused), ("pipeline", fused)):
+        for i, est in enumerate(serial_fraction_history(result.timings), 1):
+            rows.append({
+                "path": label, "iteration": i,
+                "serial [s]": round(est.serial_time, 4),
+                "parallel cpu [s]": round(est.parallel_time, 4),
+                "alpha": round(est.serial_fraction, 5),
+                "max speedup": round(min(est.max_speedup, 1e6), 1),
+            })
+    print("\nFigure 3 companion (measured serial fraction per iteration):")
+    print(format_table(rows))
+    save_records(
+        [ResultRecord("fig3_measured_serial_fraction", {
+            "rows": rows, "cpu_count": os.cpu_count()})],
+        results_dir / "fig3_measured_serial_fraction.json",
+    )
+
+    for result in (unfused, fused):
+        for est in serial_fraction_history(result.timings):
+            assert 0.0 < est.serial_fraction < 1.0
+            assert est.parallel_time > 0
+    # Identical physics on both paths (the data path equivalence that
+    # makes the serial-fraction comparison meaningful).
+    np.testing.assert_allclose(fused.density, unfused.density, rtol=1e-8)
+    assert fused.total_energy == pytest.approx(unfused.total_energy, rel=1e-8)
+
+
+@pytest.mark.paper_experiment
 def test_bench_fig3_strong_scaling(benchmark, results_dir):
     ls3df, petot = benchmark.pedantic(_strong_scaling, rounds=1, iterations=1)
     cores = np.array(CORES, dtype=float)

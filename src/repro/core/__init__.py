@@ -28,15 +28,25 @@ comparisons reported in the paper.
 from repro.core.fragments import Fragment, enumerate_fragments, fragment_weight, coverage_map
 from repro.core.division import SpatialDivision
 from repro.core.passivation import passivate_fragment
-from repro.core.patching import restrict_to_fragment, patch_fragment_fields
+from repro.core.patching import (
+    restrict_to_fragment,
+    patch_fragment_fields,
+    patch_contributions,
+    patching_identity_residual,
+    tree_reduce_fields,
+)
 from repro.core.genpot import GlobalPotentialSolver
 from repro.core.fragment_task import (
     ExecutionReport,
     FragmentExecutor,
+    FragmentPipelineResult,
+    FragmentPipelineTask,
     FragmentStateCache,
     FragmentTask,
     FragmentTaskResult,
+    PipelineFragmentExecutor,
     clear_problem_cache,
+    run_fragment_pipeline_task,
     solve_fragment_task,
 )
 from repro.core.fragment_solver import FragmentSolveResult, FragmentSolver
@@ -53,13 +63,20 @@ __all__ = [
     "passivate_fragment",
     "restrict_to_fragment",
     "patch_fragment_fields",
+    "patch_contributions",
+    "patching_identity_residual",
+    "tree_reduce_fields",
     "GlobalPotentialSolver",
     "ExecutionReport",
     "FragmentExecutor",
+    "FragmentPipelineResult",
+    "FragmentPipelineTask",
     "FragmentStateCache",
     "FragmentTask",
     "FragmentTaskResult",
+    "PipelineFragmentExecutor",
     "clear_problem_cache",
+    "run_fragment_pipeline_task",
     "solve_fragment_task",
     "FragmentSolveResult",
     "FragmentSolver",

@@ -72,9 +72,17 @@ class LS3DF:
         the serial in-process backend.  Pass e.g.
         ``ProcessPoolFragmentExecutor(n_workers=4)`` from
         :mod:`repro.parallel.executor` to solve fragments concurrently.
+    pipeline:
+        When True, run every fragment as one fused
+        Gen_VF -> solve -> Gen_dens task per iteration instead of serial
+        driver loops around the solves (see
+        :class:`repro.core.scf.LS3DFSCF`); all shipped executors support
+        it.  Default False (the serial data path, byte-identical results
+        to the seed).
     kwargs:
         Remaining options forwarded to :class:`repro.core.scf.LS3DFSCF`
-        (buffer_cells, mixer, eigensolver, passivation switches, ...).
+        (buffer_cells, mixer, eigensolver, passivation switches,
+        patch_chunk_size, ...).
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class LS3DF:
         ecut: float = 4.0,
         pseudopotentials: PseudopotentialSet | None = None,
         executor: FragmentExecutor | None = None,
+        pipeline: bool = False,
         **kwargs,
     ) -> None:
         self.structure = structure
@@ -94,6 +103,7 @@ class LS3DF:
             ecut=ecut,
             pseudopotentials=self.pseudopotentials,
             executor=executor,
+            pipeline=pipeline,
             **kwargs,
         )
         self.ecut = float(ecut)
@@ -102,6 +112,11 @@ class LS3DF:
     def executor(self) -> FragmentExecutor:
         """The fragment-execution backend used by the SCF loop."""
         return self.scf.executor
+
+    @property
+    def pipeline(self) -> bool:
+        """Whether the SCF loop runs fused fragment pipeline tasks."""
+        return self.scf.pipeline
 
     # -- convenience accessors ------------------------------------------------
     @property

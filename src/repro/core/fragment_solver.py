@@ -25,6 +25,7 @@ import numpy as np
 from repro.atoms.structure import Structure
 from repro.core.division import SpatialDivision
 from repro.core.fragment_task import (
+    FragmentPipelineTask,
     FragmentTask,
     FragmentTaskResult,
     TaskProblem,
@@ -98,6 +99,10 @@ class FragmentProblem:
     ionic_density: np.ndarray
     task_problem: TaskProblem = field(repr=False)
     wavefunctions: np.ndarray | None = field(default=None, repr=False)
+    # Fixed passivation correction Delta V_F (see
+    # FragmentSolver.passivation_potential); computed once, reused every
+    # iteration.  None until first requested or for unpassivated fragments.
+    passivation_potential: np.ndarray | None = field(default=None, repr=False)
 
     @property
     def grid(self) -> FFTGrid:
@@ -232,26 +237,22 @@ class FragmentSolver:
         )
 
     # ------------------------------------------------------------------
-    def fragment_screening_potential(
-        self, problem: FragmentProblem, restricted_potential: np.ndarray
-    ) -> np.ndarray:
-        """Combine the restricted global potential with the fragment's own parts.
+    def passivation_potential(self, problem: FragmentProblem) -> np.ndarray | None:
+        """The fixed passivation correction Delta V_F of one fragment.
 
-        The restriction of the *global* screening potential carries the
-        electrostatics of the whole system; the passivation atoms (absent
-        from the global system) additionally contribute their own smeared
-        ionic attraction so that the dangling-bond termination is charge
-        neutral.  This extra term is the fixed passivation potential
-        Delta V_F of the paper: nonzero only near the fragment boundary.
+        Electrostatic potential of the *neutral* passivant pseudo-atoms:
+        the compact ionic Gaussian minus a diffuse electron cloud of the
+        same total charge.  This terminates the cut bonds without
+        injecting a net monopole into the fragment box.  The term is
+        iteration-independent — only the restricted global potential
+        changes between outer iterations — so it is computed once per
+        fragment and cached on the problem; warm iterations reuse the
+        array instead of redoing the per-fragment Hartree solves every
+        Gen_VF.  Returns ``None`` for unpassivated fragments.
         """
-        if restricted_potential.shape != problem.grid.shape:
-            raise ValueError("restricted potential shape mismatch")
-        v = restricted_potential
-        if problem.passivation.n_passivants:
-            # Electrostatic potential of *neutral* passivant pseudo-atoms:
-            # the compact ionic Gaussian minus a diffuse electron cloud of
-            # the same total charge.  This terminates the cut bonds without
-            # injecting a net monopole into the fragment box.
+        if not problem.passivation.n_passivants:
+            return None
+        if problem.passivation_potential is None:
             passivants = problem.passivation.passivant_indices
             sub = Structure(
                 problem.structure.cell,
@@ -265,7 +266,28 @@ class FragmentSolver:
                 cloud_overrides[sym] = replace(pp, core_width=2.0 * pp.core_width)
             cloud_set = self.pseudopotentials.with_override(cloud_overrides)
             rho_cloud_pass = cloud_set.ionic_density(sub, problem.grid)
-            v = v - hartree_potential(rho_ion_pass - rho_cloud_pass, problem.grid)
+            problem.passivation_potential = hartree_potential(
+                rho_ion_pass - rho_cloud_pass, problem.grid
+            )
+        return problem.passivation_potential
+
+    def fragment_screening_potential(
+        self, problem: FragmentProblem, restricted_potential: np.ndarray
+    ) -> np.ndarray:
+        """Combine the restricted global potential with the fragment's own parts.
+
+        The restriction of the *global* screening potential carries the
+        electrostatics of the whole system; the passivation atoms (absent
+        from the global system) additionally contribute the fixed (cached)
+        passivation potential Delta V_F of the paper: nonzero only near
+        the fragment boundary.
+        """
+        if restricted_potential.shape != problem.grid.shape:
+            raise ValueError("restricted potential shape mismatch")
+        v = restricted_potential
+        delta_v = self.passivation_potential(problem)
+        if delta_v is not None:
+            v = v - delta_v
         return v
 
     # ------------------------------------------------------------------
@@ -291,6 +313,42 @@ class FragmentSolver:
         task.max_iterations = int(eigensolver_iterations)
         task.initial_coefficients = initial_coefficients
         return task
+
+    def make_pipeline_task(
+        self,
+        fragment: Fragment,
+        global_potential: np.ndarray,
+        eigensolver_tolerance: float = 1e-5,
+        eigensolver_iterations: int = 60,
+        initial_coefficients: np.ndarray | None = None,
+    ) -> FragmentPipelineTask:
+        """Fused Gen_VF -> PEtot_F -> Gen_dens task for one fragment.
+
+        Unlike :meth:`make_task`, the screening potential is *not*
+        assembled here: the task carries the global input potential, the
+        fragment's gather/scatter index maps and the cached passivation
+        correction, and the worker performs the restriction, the solve and
+        the weighted-interior extraction itself
+        (:func:`repro.core.fragment_task.run_fragment_pipeline_task`).
+        This is what :class:`repro.core.scf.LS3DFSCF` hands to a
+        pipeline-capable backend every outer iteration when
+        ``pipeline=True``.
+        """
+        if global_potential.shape != self.division.global_grid.shape:
+            raise ValueError("global potential shape mismatch")
+        problem = self.build_problem(fragment)
+        task = self._static_task(fragment, problem.structure, problem.grid)
+        task.tolerance = float(eigensolver_tolerance)
+        task.max_iterations = int(eigensolver_iterations)
+        task.initial_coefficients = initial_coefficients
+        box = self.division.fragment_box(fragment)
+        return FragmentPipelineTask(
+            task=task,
+            global_potential=global_potential,
+            box_indices=self.division.global_indices(fragment, interior_only=False),
+            interior_slice=box.interior_slice,
+            passivation_potential=self.passivation_potential(problem),
+        )
 
     @staticmethod
     def result_from_task(

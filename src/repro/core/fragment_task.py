@@ -306,6 +306,133 @@ def solve_fragment_task(
     )
 
 
+@dataclass
+class FragmentPipelineTask:
+    """Fused Gen_VF -> PEtot_F -> Gen_dens unit of work for one fragment.
+
+    The plain :class:`FragmentTask` covers only the Kohn-Sham solve; the
+    driver then still owns two serial per-fragment loops (the Gen_VF
+    restriction before the solve, the Gen_dens interior extraction after
+    it).  This task fuses all three per-fragment steps into one picklable
+    description, so a pool worker receives the global input potential plus
+    index maps, performs restrict -> solve -> weighted-interior extraction
+    locally, and ships back a single result — one round trip per fragment
+    per SCF iteration instead of a solve round trip sandwiched between two
+    driver-side loops.
+
+    IPC trade-off (process pools): each submission pickles the *global*
+    potential instead of the box-sized restriction the unfused path ships,
+    buying the driver out of the serial per-fragment Gen_VF loop at the
+    price of larger submissions.  At the scales this reproduction runs the
+    loop is the bottleneck, not the bytes; the production code avoids both
+    by point-to-point isend/irecv of box-sized pieces.
+
+    Attributes
+    ----------
+    task:
+        The underlying solve task.  Its ``screening_potential`` is
+        ``None``; the worker assembles it from ``global_potential`` and
+        ``passivation_potential``.
+    global_potential:
+        The global input potential V_in of this iteration.
+    box_indices:
+        Per-axis global-grid index arrays (periodically wrapped) of the
+        full fragment box — the Gen_VF gather map.
+    interior_slice:
+        Slice selecting the fragment *region* (box minus buffer) inside
+        the box — what the Gen_dens contribution is cut from.
+    passivation_potential:
+        The fixed passivation correction Delta V_F (subtracted from the
+        restricted potential), or ``None`` for unpassivated fragments.
+    """
+
+    task: FragmentTask
+    global_potential: np.ndarray
+    box_indices: tuple[np.ndarray, np.ndarray, np.ndarray]
+    interior_slice: tuple[slice, slice, slice]
+    passivation_potential: np.ndarray | None = None
+
+    @property
+    def label(self) -> str:
+        return self.task.label
+
+    def cost(self) -> float:
+        """Relative cost for load balancing (the solve dominates)."""
+        return self.task.cost()
+
+
+@dataclass
+class FragmentPipelineResult:
+    """Result of one fused restrict -> solve -> contribute pipeline task.
+
+    ``contribution`` is the fragment's alpha-weighted region interior of
+    the solved density — the exact array the Gen_dens reduction sums, so
+    the driver never cuts into the fragment-box density again.  The
+    driver already knows each fragment's scatter map
+    (``division.global_indices``), so no index arrays ride along.
+    """
+
+    result: FragmentTaskResult
+    contribution: np.ndarray
+    gen_vf_time: float
+    gen_dens_time: float
+
+    @property
+    def label(self) -> str:
+        return self.result.label
+
+    @property
+    def worker_pid(self) -> int:
+        return self.result.worker_pid
+
+    @property
+    def wall_time(self) -> float:
+        """In-worker time of the whole fused step (restrict+solve+extract)."""
+        return self.gen_vf_time + self.result.wall_time + self.gen_dens_time
+
+
+def run_fragment_pipeline_task(
+    pipeline_task: FragmentPipelineTask, problem: TaskProblem | None = None
+) -> FragmentPipelineResult:
+    """Execute one fused fragment pipeline task (worker-side Figure 2 lap).
+
+    Performs, in the worker, the three embarrassingly parallel steps of
+    one LS3DF iteration for one fragment:
+
+    1. **Gen_VF** — gather the fragment-box restriction of the global
+       input potential and subtract the fixed passivation correction;
+    2. **PEtot_F** — run the shared solve kernel
+       (:func:`solve_fragment_task`, same static-problem cache and warm
+       starts as the unfused path);
+    3. **Gen_dens** — extract the region interior of the solved density
+       and apply the fragment's charge-conserving alpha weight.
+
+    The arithmetic matches the driver-side unfused path operation for
+    operation, so fused and unfused runs differ only in where (and in what
+    summation grouping) the global density is reduced.
+    """
+    t0 = time.perf_counter()
+    ix, iy, iz = pipeline_task.box_indices
+    # Advanced indexing already yields a fresh array — no copy needed.
+    v_screen = pipeline_task.global_potential[np.ix_(ix, iy, iz)]
+    if pipeline_task.passivation_potential is not None:
+        v_screen = v_screen - pipeline_task.passivation_potential
+    task = pipeline_task.task
+    task.screening_potential = v_screen
+    gen_vf_time = time.perf_counter() - t0
+    result = solve_fragment_task(task, problem=problem)
+    t0 = time.perf_counter()
+    interior = result.density[pipeline_task.interior_slice]
+    contribution = task.weight * np.real(interior)
+    gen_dens_time = time.perf_counter() - t0
+    return FragmentPipelineResult(
+        result=result,
+        contribution=contribution,
+        gen_vf_time=gen_vf_time,
+        gen_dens_time=gen_dens_time,
+    )
+
+
 class FragmentStateCache:
     """Executor-agnostic warm-start store, keyed by fragment label.
 
@@ -353,11 +480,33 @@ class FragmentExecutor(Protocol):
     def run(self, tasks: Sequence[FragmentTask]) -> "ExecutionReport": ...
 
 
+@runtime_checkable
+class PipelineFragmentExecutor(FragmentExecutor, Protocol):
+    """A backend that additionally runs fused fragment pipeline tasks.
+
+    All backends shipped in :mod:`repro.parallel.executor` implement this;
+    :class:`repro.core.scf.LS3DFSCF` requires it when ``pipeline=True``.
+    ``run_pipeline`` takes a batch of :class:`FragmentPipelineTask` and
+    returns an :class:`ExecutionReport` whose ``results`` are
+    :class:`FragmentPipelineResult` objects in task order.
+    """
+
+    def run_pipeline(
+        self, tasks: Sequence[FragmentPipelineTask]
+    ) -> "ExecutionReport": ...
+
+
 @dataclass
 class ExecutionReport:
-    """Timing summary of one batch of fragment solves."""
+    """Timing summary of one batch of fragment solves.
 
-    results: list[FragmentTaskResult]
+    ``results`` holds :class:`FragmentTaskResult` objects for plain solve
+    batches and :class:`FragmentPipelineResult` objects for fused pipeline
+    batches; both expose the ``label`` / ``wall_time`` / ``worker_pid``
+    fields the summary properties use.
+    """
+
+    results: list
     wall_time: float
     worker_count: int
     schedule: object | None = None

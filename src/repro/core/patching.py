@@ -18,6 +18,7 @@ point-to-point isend/irecv.
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -53,11 +54,112 @@ def restrict_to_fragment(
     return global_field[np.ix_(ix, iy, iz)].copy()
 
 
+#: Index arrays (per axis, periodically wrapped) plus the weighted interior
+#: array of one fragment — the unit the Gen_dens reduction sums over.
+FragmentContribution = tuple[
+    tuple[np.ndarray, np.ndarray, np.ndarray], np.ndarray
+]
+
+
+def _accumulate_chunk(
+    shape: tuple[int, int, int],
+    contributions: Iterable[FragmentContribution],
+) -> np.ndarray:
+    """Scatter-add weighted interiors into one partial field.
+
+    A fragment *region* never exceeds one period of the global grid per
+    axis, so the per-axis index arrays are duplicate-free and the sliced
+    in-place add is exact (one addition per addressed element — the same
+    arithmetic as ``np.add.at``, without its slow unbuffered path).
+    """
+    partial = np.zeros(shape, dtype=float)
+    for (ix, iy, iz), interior in contributions:
+        partial[np.ix_(ix, iy, iz)] += interior
+    return partial
+
+
+def tree_reduce_fields(partials: Iterable[np.ndarray]) -> np.ndarray:
+    """Pairwise (binary-tree) sum of partial global fields.
+
+    The reduction order is fixed by the input order alone — never by a
+    worker count or arrival order — so results are bit-for-bit
+    reproducible across execution backends.  This is the Python analogue
+    of the production code's Gen_dens reduction over processor groups.
+
+    Accepts any iterable and consumes it lazily with a binary-counter
+    merge (equal-height subtrees combine as soon as both exist), so at
+    most O(log N) partial fields are alive at once even when the input is
+    a generator producing N of them.
+    """
+    # Stack of (subtree height, subtree sum); heights strictly decrease
+    # from bottom to top, exactly the binary representation of the count
+    # of partials consumed so far.
+    stack: list[tuple[int, np.ndarray]] = []
+    for array in partials:
+        node = array
+        height = 0
+        while stack and stack[-1][0] == height:
+            _, left = stack.pop()
+            node = left + node  # left operand is the earlier subtree
+            height += 1
+        stack.append((height, node))
+    if not stack:
+        raise ValueError("tree reduce needs at least one partial field")
+    total: np.ndarray | None = None
+    for _, node in reversed(stack):  # latest (smallest) subtree first
+        total = node if total is None else node + total
+    return total
+
+
+def patch_contributions(
+    shape: tuple[int, int, int],
+    contributions: Iterable[FragmentContribution],
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Sum pre-weighted fragment interiors into a global field.
+
+    This is the reduction half of Gen_dens, operating on contributions
+    whose alpha weights have already been applied — exactly what the fused
+    fragment pipeline ships back from its workers.  ``contributions`` may
+    be any iterable (it is consumed lazily, one chunk at a time).
+
+    ``chunk_size=None`` accumulates every contribution sequentially into a
+    single array (the seed behaviour, byte-identical addition order).  A
+    positive ``chunk_size`` splits the contributions into fixed
+    consecutive chunks, accumulates each into its own partial field, and
+    combines the partials with a pairwise tree sum — the deterministic
+    chunked tree-reduce the pipeline path uses.  The chunk boundaries
+    depend only on the contribution order and ``chunk_size``, so every
+    backend (and any worker count) produces identical bits.
+    """
+    if chunk_size is None:
+        return _accumulate_chunk(shape, contributions)
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
+    iterator = iter(contributions)
+    first_chunk = list(islice(iterator, chunk_size))
+    if not first_chunk:
+        return np.zeros(shape, dtype=float)
+
+    def partials():
+        # Lazy: together with the streaming tree reduce, only
+        # O(log #chunks) partial global fields are alive at once.
+        yield _accumulate_chunk(shape, first_chunk)
+        while True:
+            chunk = list(islice(iterator, chunk_size))
+            if not chunk:
+                return
+            yield _accumulate_chunk(shape, chunk)
+
+    return tree_reduce_fields(partials())
+
+
 def patch_fragment_fields(
     division: SpatialDivision,
     fragments: Sequence[Fragment],
     fragment_fields: Iterable[np.ndarray],
     weights: Sequence[int] | None = None,
+    chunk_size: int | None = None,
 ) -> np.ndarray:
     """Gen_dens: patch weighted fragment fields into a global field.
 
@@ -79,13 +181,17 @@ def patch_fragment_fields(
     weights:
         Optional per-fragment weight overrides (defaults to each
         fragment's alpha).
+    chunk_size:
+        ``None`` (default) accumulates sequentially in fragment order —
+        the seed behaviour, byte-identical addition order.  A positive
+        value sums through the deterministic chunked tree-reduce of
+        :func:`patch_contributions` instead.
 
     Returns
     -------
     numpy.ndarray
         The patched field on the global grid.
     """
-    out = np.zeros(division.global_grid.shape, dtype=float)
     fragments = list(fragments)
     fields = list(fragment_fields)
     if len(fields) != len(fragments):
@@ -94,16 +200,24 @@ def patch_fragment_fields(
         weights = [f.weight for f in fragments]
     elif len(weights) != len(fragments):
         raise ValueError("weights length mismatch")
-    for fragment, field, weight in zip(fragments, fields, weights):
-        box = division.fragment_box(fragment)
-        if field.shape != box.npoints:
-            raise ValueError(
-                f"fragment field shape {field.shape} does not match box {box.npoints}"
-            )
-        interior = field[box.interior_slice]
-        ix, iy, iz = division.global_indices(fragment, interior_only=True)
-        np.add.at(out, np.ix_(ix, iy, iz), weight * np.real(interior))
-    return out
+
+    def contributions():
+        # Lazy: each weighted interior is built only as the accumulation
+        # consumes it, keeping the transient footprint at one interior
+        # (plus the partial fields) rather than all of them at once.
+        for fragment, field, weight in zip(fragments, fields, weights):
+            box = division.fragment_box(fragment)
+            if field.shape != box.npoints:
+                raise ValueError(
+                    f"fragment field shape {field.shape} does not match box {box.npoints}"
+                )
+            interior = field[box.interior_slice]
+            indices = division.global_indices(fragment, interior_only=True)
+            yield (indices, weight * np.real(interior))
+
+    return patch_contributions(
+        division.global_grid.shape, contributions(), chunk_size=chunk_size
+    )
 
 
 def patching_identity_residual(

@@ -9,6 +9,21 @@ default, a thread pool, or a process pool
 (:mod:`repro.parallel.executor`).  The loop itself only builds picklable
 fragment tasks and consumes their results; it never cares *where* a
 fragment was solved.
+
+In the paper *all three* per-fragment steps are embarrassingly parallel,
+not just the solves; only the small GENPOT Poisson solve is serial.  The
+``pipeline=True`` mode reproduces that: Gen_VF, the solve and the
+Gen_dens contribution are fused into one
+:class:`~repro.core.fragment_task.FragmentPipelineTask` per fragment (a
+single executor round trip), and the global density is assembled by a
+deterministic chunked tree-reduce — the driver's remaining serial work
+per iteration is task building, the reduce and GENPOT.  The default
+``pipeline=False`` path produces byte-identical *results* to the seed;
+only its timing attribution moved (task building — restriction plus
+screening-potential assembly, i.e. the paper's Gen_VF — is now timed
+under ``gen_vf`` instead of inflating the ``petot_f`` wall time, and the
+fixed passivation potential is cached across iterations instead of
+rebuilt).
 """
 
 from __future__ import annotations
@@ -22,10 +37,18 @@ import numpy as np
 from repro.atoms.structure import Structure
 from repro.core.division import SpatialDivision
 from repro.core.fragment_solver import FragmentSolveResult, FragmentSolver
-from repro.core.fragment_task import FragmentExecutor, FragmentStateCache
+from repro.core.fragment_task import (
+    FragmentExecutor,
+    FragmentStateCache,
+    PipelineFragmentExecutor,
+)
 from repro.core.fragments import Fragment, enumerate_fragments
 from repro.core.genpot import GlobalPotentialSolver
-from repro.core.patching import patch_fragment_fields, restrict_to_fragment
+from repro.core.patching import (
+    patch_contributions,
+    patch_fragment_fields,
+    restrict_to_fragment,
+)
 from repro.pw.grid import FFTGrid
 from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotentials
 
@@ -38,6 +61,17 @@ class IterationTimings:
     by the outer loop; ``petot_f_fragments`` holds each fragment's own
     solve time (in fragment order), so real speedups and parallel
     efficiencies can be measured instead of modelled.
+
+    With the fused fragment pipeline (``pipeline`` True) the Gen_VF
+    restriction and the Gen_dens interior extraction run *inside* the
+    per-fragment tasks: their in-worker times land in
+    ``gen_vf_fragments`` / ``gen_dens_fragments`` (and inside
+    ``petot_f_fragments``, which then times the whole fused step), while
+    the driver-side ``gen_vf`` / ``gen_dens`` shrink to task building and
+    the chunked tree-reduce.  ``serial_time`` / ``measured_serial_fraction``
+    expose how much of the iteration actually remained serial — the
+    measured counterpart of the paper's Amdahl fit (compare
+    :func:`repro.parallel.amdahl.serial_fraction_history`).
     """
 
     gen_vf: float = 0.0
@@ -46,6 +80,9 @@ class IterationTimings:
     genpot: float = 0.0
     petot_f_fragments: list[float] = field(default_factory=list)
     petot_f_workers: int = 1
+    gen_vf_fragments: list[float] = field(default_factory=list)
+    gen_dens_fragments: list[float] = field(default_factory=list)
+    pipeline: bool = False
 
     @property
     def total(self) -> float:
@@ -62,6 +99,29 @@ class IterationTimings:
         if self.petot_f <= 0:
             return 0.0
         return self.petot_f_cpu / self.petot_f
+
+    @property
+    def serial_time(self) -> float:
+        """Driver-side unparallelised time of the iteration.
+
+        The Gen_VF and Gen_dens entries time serial per-fragment driver
+        loops on the unfused path but only task building plus the chunked
+        tree-reduce on the pipeline path; GENPOT is serial either way.
+        """
+        return self.gen_vf + self.gen_dens + self.genpot
+
+    @property
+    def measured_serial_fraction(self) -> float:
+        """Measured Amdahl alpha: serial / (serial + parallelisable CPU).
+
+        The parallelisable part is the summed per-fragment wall time —
+        the serial-equivalent cost of the work the executor may spread
+        over any number of workers.
+        """
+        denominator = self.serial_time + self.petot_f_cpu
+        if denominator <= 0:
+            return 0.0
+        return self.serial_time / denominator
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -151,6 +211,23 @@ class LS3DFSCF:
         :class:`~repro.parallel.executor.ThreadPoolFragmentExecutor` or
         :class:`~repro.parallel.executor.ProcessPoolFragmentExecutor` to
         solve the independent fragment problems concurrently.
+    pipeline:
+        When True, fuse Gen_VF -> PEtot_F -> Gen_dens into one
+        :class:`~repro.core.fragment_task.FragmentPipelineTask` per
+        fragment per iteration: the serial per-fragment driver loops
+        disappear (the restriction and the weighted-interior extraction
+        run inside the workers, one round trip per fragment) and the
+        global density is assembled by a deterministic chunked
+        tree-reduce.  Requires an executor with a ``run_pipeline`` method
+        (all backends in :mod:`repro.parallel.executor` have one).  The
+        default False keeps the seed serial data path (byte-identical
+        results; see the module docstring for the timing-attribution
+        changes).
+    patch_chunk_size:
+        Chunk size of the pipeline path's Gen_dens tree-reduce (see
+        :func:`repro.core.patching.patch_contributions`).  Fixed by
+        fragment order only, so results are independent of the backend
+        and worker count.  Ignored when ``pipeline`` is False.
     """
 
     def __init__(
@@ -169,6 +246,8 @@ class LS3DFSCF:
         polar_passivation: bool = True,
         points_per_bohr: float | None = None,
         executor: FragmentExecutor | None = None,
+        pipeline: bool = False,
+        patch_chunk_size: int = 8,
     ) -> None:
         self.structure = structure
         self.grid_dims = tuple(int(m) for m in grid_dims)
@@ -204,6 +283,16 @@ class LS3DFSCF:
             from repro.parallel.executor import SerialFragmentExecutor
 
             executor = SerialFragmentExecutor()
+        self.pipeline = bool(pipeline)
+        if self.pipeline and not isinstance(executor, PipelineFragmentExecutor):
+            raise TypeError(
+                f"pipeline=True needs an executor with run_pipeline(); "
+                f"{type(executor).__name__} only supports plain run() — use a "
+                f"backend from repro.parallel.executor or set pipeline=False"
+            )
+        if patch_chunk_size < 1:
+            raise ValueError("patch_chunk_size must be positive")
+        self.patch_chunk_size = int(patch_chunk_size)
         self.executor = executor
         self.state_cache = FragmentStateCache()
 
@@ -225,6 +314,72 @@ class LS3DFSCF:
     @property
     def nfragments(self) -> int:
         return len(self.fragments)
+
+    # ------------------------------------------------------------------
+    def _run_pipeline_iteration(
+        self,
+        v_in: np.ndarray,
+        eigensolver_tolerance: float,
+        eigensolver_iterations: int,
+        t: IterationTimings,
+    ) -> tuple[np.ndarray, list[FragmentSolveResult]]:
+        """One fused Gen_VF -> PEtot_F -> Gen_dens lap of the iteration.
+
+        Each fragment is a single
+        :class:`~repro.core.fragment_task.FragmentPipelineTask` — one
+        executor submission per fragment per iteration — whose worker
+        performs the restriction, the Kohn-Sham solve and the
+        weighted-interior extraction.  The driver only builds tasks
+        (timed as ``gen_vf``) and reduces the returned contributions with
+        the deterministic chunked tree sum (timed as ``gen_dens``), so
+        the per-fragment serial loops of the unfused path vanish from the
+        driver's serial time.
+        """
+        t.pipeline = True
+        # --- Gen_VF (driver residue): build one fused task per fragment.
+        t0 = time.perf_counter()
+        tasks = [
+            self.fragment_solver.make_pipeline_task(
+                f,
+                v_in,
+                eigensolver_tolerance=eigensolver_tolerance,
+                eigensolver_iterations=eigensolver_iterations,
+                initial_coefficients=self.state_cache.get(f.label),
+            )
+            for f in self.fragments
+        ]
+        t.gen_vf = time.perf_counter() - t0
+
+        # --- PEtot_F (fused): restrict + solve + contribute per worker.
+        t0 = time.perf_counter()
+        report = self.executor.run_pipeline(tasks)
+        t.petot_f = time.perf_counter() - t0
+        t.petot_f_fragments = [p.wall_time for p in report.results]
+        t.petot_f_workers = report.worker_count
+        t.gen_vf_fragments = [p.gen_vf_time for p in report.results]
+        t.gen_dens_fragments = [p.gen_dens_time for p in report.results]
+
+        # --- Gen_dens (driver residue): consume the results and chunked-
+        # tree-reduce the pre-weighted contributions the workers shipped
+        # back (scatter maps come from the division — no index arrays ride
+        # on results).  Cache update and conversion are serial driver work
+        # and belong in this bucket, not in the PEtot_F wall time.
+        t0 = time.perf_counter()
+        self.state_cache.update([p.result for p in report.results])
+        frag_results = [
+            FragmentSolver.result_from_task(f, p.result)
+            for f, p in zip(self.fragments, report.results)
+        ]
+        density = patch_contributions(
+            self.global_grid.shape,
+            (
+                (self.division.global_indices(f, interior_only=True), p.contribution)
+                for f, p in zip(self.fragments, report.results)
+            ),
+            chunk_size=self.patch_chunk_size,
+        )
+        t.gen_dens = time.perf_counter() - t0
+        return density, frag_results
 
     # ------------------------------------------------------------------
     def run(
@@ -278,44 +433,51 @@ class LS3DFSCF:
         for iteration in range(1, max_iterations + 1):
             t = IterationTimings()
 
-            # --- Gen_VF: restrict the global potential to every fragment box.
-            t0 = time.perf_counter()
-            restricted = [
-                restrict_to_fragment(self.division, f, v_in) for f in self.fragments
-            ]
-            t.gen_vf = time.perf_counter() - t0
-
-            # --- PEtot_F: solve every fragment (independent problems)
-            # through the pluggable execution backend.
-            t0 = time.perf_counter()
-            tasks = [
-                self.fragment_solver.make_task(
-                    f,
-                    r,
-                    eigensolver_tolerance=eigensolver_tolerance,
-                    eigensolver_iterations=eigensolver_iterations,
-                    initial_coefficients=self.state_cache.get(f.label),
+            if self.pipeline:
+                density, frag_results = self._run_pipeline_iteration(
+                    v_in, eigensolver_tolerance, eigensolver_iterations, t
                 )
-                for f, r in zip(self.fragments, restricted)
-            ]
-            report = self.executor.run(tasks)
-            self.state_cache.update(report.results)
-            frag_results = [
-                FragmentSolver.result_from_task(f, res)
-                for f, res in zip(self.fragments, report.results)
-            ]
-            t.petot_f = time.perf_counter() - t0
-            t.petot_f_fragments = [res.wall_time for res in report.results]
-            t.petot_f_workers = report.worker_count
+            else:
+                # --- Gen_VF: restrict the global potential to every fragment
+                # box and assemble the screening potentials (task building —
+                # the paper's "restrict V_in, add passivation potential").
+                t0 = time.perf_counter()
+                tasks = [
+                    self.fragment_solver.make_task(
+                        f,
+                        restrict_to_fragment(self.division, f, v_in),
+                        eigensolver_tolerance=eigensolver_tolerance,
+                        eigensolver_iterations=eigensolver_iterations,
+                        initial_coefficients=self.state_cache.get(f.label),
+                    )
+                    for f in self.fragments
+                ]
+                t.gen_vf = time.perf_counter() - t0
 
-            # --- Gen_dens: patch the fragment densities into the global one.
-            t0 = time.perf_counter()
-            density = patch_fragment_fields(
-                self.division,
-                self.fragments,
-                [res.density for res in frag_results],
-            )
-            t.gen_dens = time.perf_counter() - t0
+                # --- PEtot_F: solve every fragment (independent problems)
+                # through the pluggable execution backend.
+                t0 = time.perf_counter()
+                report = self.executor.run(tasks)
+                t.petot_f = time.perf_counter() - t0
+                t.petot_f_fragments = [res.wall_time for res in report.results]
+                t.petot_f_workers = report.worker_count
+
+                # --- Gen_dens: consume the results (warm-start cache,
+                # result conversion) and patch the fragment densities into
+                # the global one — all of it serial driver work, so it is
+                # timed here rather than hiding in the PEtot_F wall time.
+                t0 = time.perf_counter()
+                self.state_cache.update(report.results)
+                frag_results = [
+                    FragmentSolver.result_from_task(f, res)
+                    for f, res in zip(self.fragments, report.results)
+                ]
+                density = patch_fragment_fields(
+                    self.division,
+                    self.fragments,
+                    [res.density for res in frag_results],
+                )
+                t.gen_dens = time.perf_counter() - t0
 
             # --- GENPOT: global Poisson + XC + mixing.
             t0 = time.perf_counter()

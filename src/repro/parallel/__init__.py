@@ -32,15 +32,26 @@ from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
 from repro.parallel.flops import LS3DFWorkload, FragmentWork
 from repro.parallel.comm import CommunicationModel, CommScheme
 from repro.parallel.perfmodel import LS3DFPerformanceModel, PerformancePoint, DirectDFTCostModel
-from repro.parallel.amdahl import amdahl_speedup, fit_amdahl, AmdahlFit
+from repro.parallel.amdahl import (
+    amdahl_speedup,
+    fit_amdahl,
+    AmdahlFit,
+    SerialFractionEstimate,
+    measured_serial_fraction,
+    serial_fraction_history,
+)
 from repro.parallel.executor import (
     ExecutionReport,
     FragmentExecutor,
+    FragmentPipelineResult,
+    FragmentPipelineTask,
     FragmentTask,
     FragmentTaskResult,
+    PipelineFragmentExecutor,
     ProcessPoolFragmentExecutor,
     SerialFragmentExecutor,
     ThreadPoolFragmentExecutor,
+    run_fragment_pipeline_task,
     solve_fragment_task,
 )
 
@@ -63,12 +74,19 @@ __all__ = [
     "amdahl_speedup",
     "fit_amdahl",
     "AmdahlFit",
+    "SerialFractionEstimate",
+    "measured_serial_fraction",
+    "serial_fraction_history",
     "ExecutionReport",
     "FragmentExecutor",
+    "FragmentPipelineResult",
+    "FragmentPipelineTask",
     "FragmentTask",
     "FragmentTaskResult",
+    "PipelineFragmentExecutor",
     "ProcessPoolFragmentExecutor",
     "SerialFragmentExecutor",
     "ThreadPoolFragmentExecutor",
+    "run_fragment_pipeline_task",
     "solve_fragment_task",
 ]

@@ -9,12 +9,18 @@ effective single-core performance and ``alpha`` the serial fraction.  The
 fit quality reported is an average absolute relative deviation of 0.26%
 with serial fractions of 1/362,000 (PEtot_F) and 1/101,000 (LS3DF overall).
 This module provides the model function and the least-squares fit used by
-the Figure-3 benchmark.
+the Figure-3 benchmark, plus the *measured* serial fraction extracted from
+real per-iteration LS3DF timings: alpha = t_serial / (t_serial + t_par),
+where ``t_serial`` is the time spent in the driver's unparallelised code
+(the serial Gen_VF / Gen_dens loops — gone when the fused fragment
+pipeline is on — and GENPOT) and ``t_par`` the serial-equivalent cost of
+the embarrassingly parallel per-fragment work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import least_squares
@@ -108,3 +114,74 @@ def fit_amdahl(cores: np.ndarray, performance: np.ndarray) -> AmdahlFit:
         mean_absolute_relative_deviation=float(np.mean(rel_dev)),
         max_absolute_relative_deviation=float(np.max(rel_dev)),
     )
+
+
+# ---------------------------------------------------------------------------
+# Measured serial fraction (from real per-iteration LS3DF timings)
+
+
+@dataclass
+class SerialFractionEstimate:
+    """Serial fraction measured from one LS3DF iteration's timings.
+
+    Attributes
+    ----------
+    serial_fraction:
+        alpha = serial_time / (serial_time + parallel_time).
+    serial_time:
+        Wall-clock seconds of the driver's unparallelised work in the
+        iteration (Gen_VF + Gen_dens driver loops and GENPOT).
+    parallel_time:
+        Serial-equivalent seconds of the embarrassingly parallel
+        per-fragment work (summed per-fragment wall times; with the fused
+        pipeline this includes the in-worker restrict and patch steps).
+    """
+
+    serial_fraction: float
+    serial_time: float
+    parallel_time: float
+
+    @property
+    def inverse_serial_fraction(self) -> float:
+        """1 / alpha — the form the paper quotes (e.g. 1/101,000)."""
+        if self.serial_fraction <= 0:
+            return float("inf")
+        return 1.0 / self.serial_fraction
+
+    @property
+    def max_speedup(self) -> float:
+        """Amdahl's limit for this alpha: lim_{n->inf} speedup = 1/alpha."""
+        return self.inverse_serial_fraction
+
+    def speedup_at(self, cores: np.ndarray | float) -> np.ndarray | float:
+        """Amdahl speedup this measured alpha predicts at ``cores``."""
+        return amdahl_speedup(cores, self.serial_fraction)
+
+
+def measured_serial_fraction(
+    serial_time: float, parallel_time: float
+) -> SerialFractionEstimate:
+    """Serial fraction from measured serial and parallelisable times."""
+    if serial_time < 0 or parallel_time < 0:
+        raise ValueError("times must be non-negative")
+    total = serial_time + parallel_time
+    alpha = serial_time / total if total > 0 else 0.0
+    return SerialFractionEstimate(
+        serial_fraction=alpha,
+        serial_time=float(serial_time),
+        parallel_time=float(parallel_time),
+    )
+
+
+def serial_fraction_history(timings: Sequence) -> list[SerialFractionEstimate]:
+    """Measured serial fraction of every iteration of an LS3DF run.
+
+    ``timings`` is a sequence of objects with ``serial_time`` and
+    ``petot_f_cpu`` attributes —
+    :class:`repro.core.scf.IterationTimings` as recorded in
+    ``LS3DFResult.timings`` (duck-typed here to keep this module free of
+    core imports).
+    """
+    return [
+        measured_serial_fraction(t.serial_time, t.petot_f_cpu) for t in timings
+    ]

@@ -16,7 +16,11 @@ equivalents of those groups as interchangeable backends behind the
 
 All three call the same kernel, :func:`repro.core.fragment_task.
 solve_fragment_task`, on the same picklable :class:`FragmentTask`
-descriptions — there is no backend-specific solve path.  The pool
+descriptions — there is no backend-specific solve path.  Every backend
+also implements ``run_pipeline`` for fused
+:class:`repro.core.fragment_task.FragmentPipelineTask` batches (restrict
+-> solve -> weighted-density contribution in one worker round trip; see
+:func:`repro.core.fragment_task.run_fragment_pipeline_task`).  The pool
 backends order submissions heaviest-first, the greedy longest-processing-
 time (LPT) heuristic :mod:`repro.parallel.scheduler` uses to balance
 fragment classes whose costs differ by ~8x (1x1x1 vs 2x2x2 cells), and
@@ -40,8 +44,12 @@ import numpy as np
 from repro.core.fragment_task import (  # noqa: F401
     ExecutionReport,
     FragmentExecutor,
+    FragmentPipelineResult,
+    FragmentPipelineTask,
     FragmentTask,
     FragmentTaskResult,
+    PipelineFragmentExecutor,
+    run_fragment_pipeline_task,
     solve_fragment_task,
 )
 from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
@@ -56,18 +64,34 @@ def _resolve_worker_count(n_workers: int | None, nworkers: int | None) -> int:
 
 
 class SerialFragmentExecutor:
-    """Executes fragment tasks one after another in the calling process."""
+    """Executes fragment tasks one after another in the calling process.
+
+    ``tasks_submitted`` counts every task ever handed to this executor
+    (plain and pipeline alike) — the bookkeeping the fused-pipeline tests
+    use to assert "exactly one submission per fragment per iteration".
+    """
 
     def __init__(self) -> None:
         self.n_workers = 1
+        self.tasks_submitted = 0
 
     @property
     def nworkers(self) -> int:  # legacy spelling
         return self.n_workers
 
     def run(self, tasks: Sequence[FragmentTask]) -> ExecutionReport:
+        return self._execute(tasks, solve_fragment_task)
+
+    def run_pipeline(
+        self, tasks: Sequence[FragmentPipelineTask]
+    ) -> ExecutionReport:
+        """Run fused Gen_VF -> solve -> Gen_dens tasks, one after another."""
+        return self._execute(tasks, run_fragment_pipeline_task)
+
+    def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
-        results = [solve_fragment_task(t) for t in tasks]
+        self.tasks_submitted += len(tasks)
+        results = [kernel(t) for t in tasks]
         return ExecutionReport(
             results=results,
             wall_time=time.perf_counter() - t0,
@@ -91,6 +115,10 @@ class _PoolFragmentExecutor:
         self.n_workers = _resolve_worker_count(n_workers, nworkers)
         self._pool: Executor | None = None
         self._scheduler = FragmentScheduler()
+        # Count of every task handed to the pool (or run on the in-process
+        # fast path) over this executor's lifetime; the pipeline tests use
+        # it to assert one submission per fragment per SCF iteration.
+        self.tasks_submitted = 0
 
     @property
     def nworkers(self) -> int:  # legacy spelling
@@ -109,9 +137,25 @@ class _PoolFragmentExecutor:
         return self._scheduler.schedule_tasks(tasks, self.n_workers)
 
     def run(self, tasks: Sequence[FragmentTask]) -> ExecutionReport:
+        return self._execute(tasks, solve_fragment_task)
+
+    def run_pipeline(
+        self, tasks: Sequence[FragmentPipelineTask]
+    ) -> ExecutionReport:
+        """Run fused Gen_VF -> solve -> Gen_dens tasks through the pool.
+
+        Each fragment is exactly one pool submission: the worker gathers
+        the restriction, solves, and extracts the weighted interior in a
+        single round trip (the unfused path needs the same submission plus
+        two driver-side serial loops around it).
+        """
+        return self._execute(tasks, run_fragment_pipeline_task)
+
+    def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
+        self.tasks_submitted += len(tasks)
         if self.n_workers == 1 or len(tasks) <= 1:
-            results = [solve_fragment_task(t) for t in tasks]
+            results = [kernel(t) for t in tasks]
             return ExecutionReport(
                 results=results,
                 wall_time=time.perf_counter() - t0,
@@ -122,7 +166,7 @@ class _PoolFragmentExecutor:
         # realise exactly the greedy LPT balancing of the scheduler.
         order = np.argsort([t.cost() for t in tasks])[::-1]
         pool = self._ensure_pool()
-        futures = {int(i): pool.submit(solve_fragment_task, tasks[int(i)]) for i in order}
+        futures = {int(i): pool.submit(kernel, tasks[int(i)]) for i in order}
         results = [futures[i].result() for i in range(len(tasks))]
         return ExecutionReport(
             results=results,

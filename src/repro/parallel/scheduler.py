@@ -42,6 +42,18 @@ class ScheduleSummary:
     imbalance: float
     makespan: float
 
+    @property
+    def lpt_speedup(self) -> float:
+        """Predicted speedup of this assignment: total load / makespan.
+
+        The load-balancing model's counterpart to the measured PEtot_F
+        speedup an :class:`~repro.core.fragment_task.ExecutionReport`
+        reports; benchmarks and examples print the two side by side.
+        """
+        if self.makespan <= 0:
+            return 0.0
+        return float(self.group_loads.sum() / self.makespan)
+
 
 class FragmentScheduler:
     """Greedy LPT scheduler for fragments onto processor groups."""
@@ -69,11 +81,16 @@ class FragmentScheduler:
         return self.schedule_by_costs(self.fragment_costs(fragments), ngroups)
 
     def schedule_tasks(self, tasks: Sequence, ngroups: int) -> ScheduleSummary:
-        """Assign :class:`repro.core.fragment_task.FragmentTask` batches.
+        """Assign a batch of fragment tasks to groups.
 
-        Uses each task's own relative-cost estimate (``task.cost()``);
-        this is the entry point the pool executors use to balance one
-        PEtot_F batch over their workers.
+        Uses each task's own relative-cost estimate (``task.cost()``), so
+        it accepts plain :class:`repro.core.fragment_task.FragmentTask`
+        batches and fused
+        :class:`repro.core.fragment_task.FragmentPipelineTask` batches
+        alike (a pipeline task's cost is its solve task's cost — the
+        restriction and interior extraction are negligible next to the
+        eigensolve).  This is the entry point the pool executors use to
+        balance one PEtot_F batch over their workers.
         """
         return self.schedule_by_costs([t.cost() for t in tasks], ngroups)
 

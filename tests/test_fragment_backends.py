@@ -4,6 +4,17 @@ Covers the ISSUE-1 acceptance criteria: picklable task round-trips, the
 serial / thread / process backends all running the one shared kernel and
 producing identical results (also end-to-end through LS3DFSCF), LPT load
 balancing, and warm-start reuse across outer iterations.
+
+Also covers the ISSUE-2 fused fragment pipeline: the backend-equivalence
+matrix (serial / thread / process pipeline runs bit-identical to each
+other and within 1e-8 of the seed serial path), exactly one executor
+submission per fragment per SCF iteration, in-worker Gen_VF / Gen_dens
+timing capture, and the warm-start fix that skips the redundant
+per-iteration passivation-potential rebuild.
+
+Note the CI container may have a single core (``os.cpu_count() == 1``):
+nothing here asserts a measured parallel speedup, only correctness and
+accounting, so the matrix is meaningful on any machine.
 """
 
 import pickle
@@ -14,8 +25,11 @@ import pytest
 from repro.atoms.toy import cscl_binary
 from repro.core.fragment_task import (
     FragmentExecutor,
+    FragmentPipelineResult,
     FragmentStateCache,
     FragmentTask,
+    PipelineFragmentExecutor,
+    run_fragment_pipeline_task,
     solve_fragment_task,
 )
 from repro.core.scf import LS3DFSCF
@@ -45,7 +59,7 @@ def _make_task(label="frag", ncells=1) -> FragmentTask:
     )
 
 
-def _tiny_scf(executor=None) -> LS3DFSCF:
+def _tiny_scf(executor=None, pipeline=False) -> LS3DFSCF:
     structure = cscl_binary((2, 1, 1), "Zn", "O", 6.0)
     return LS3DFSCF(
         structure,
@@ -55,6 +69,7 @@ def _tiny_scf(executor=None) -> LS3DFSCF:
         n_empty=2,
         mixer="kerker",
         executor=executor,
+        pipeline=pipeline,
     )
 
 
@@ -160,8 +175,14 @@ def test_pool_report_carries_lpt_schedule():
 
 # --- SCF equivalence (acceptance criterion) ---------------------------------------
 
-def test_scf_process_pool_matches_serial():
-    serial = _tiny_scf().run(**_RUN_KW)
+@pytest.fixture(scope="module")
+def seed_run():
+    """The seed path: unfused serial LS3DFSCF on the tiny reference system."""
+    return _tiny_scf().run(**_RUN_KW)
+
+
+def test_scf_process_pool_matches_serial(seed_run):
+    serial = seed_run
     with ProcessPoolFragmentExecutor(n_workers=2) as executor:
         pooled = _tiny_scf(executor=executor).run(**_RUN_KW)
     assert pooled.iterations == serial.iterations
@@ -173,8 +194,8 @@ def test_scf_process_pool_matches_serial():
     )
 
 
-def test_scf_thread_pool_matches_serial():
-    serial = _tiny_scf().run(**_RUN_KW)
+def test_scf_thread_pool_matches_serial(seed_run):
+    serial = seed_run
     with ThreadPoolFragmentExecutor(n_workers=2) as executor:
         threaded = _tiny_scf(executor=executor).run(**_RUN_KW)
     np.testing.assert_allclose(threaded.density, serial.density, rtol=1e-8)
@@ -224,6 +245,213 @@ def test_state_cache_api():
     assert "x" in cache and cache.get("x") is not None
     cache.clear()
     assert len(cache) == 0
+
+
+# --- fused fragment pipeline (ISSUE-2 tentpole) -----------------------------------
+
+def _pipeline_task(scf: LS3DFSCF, fragment_index=0):
+    v_in = scf.genpot.initial_potential()
+    return scf.fragment_solver.make_pipeline_task(
+        scf.fragments[fragment_index], v_in,
+        eigensolver_tolerance=1e-4, eigensolver_iterations=40,
+    )
+
+
+def test_pipeline_task_pickle_roundtrip_and_cost():
+    scf = _tiny_scf()
+    ptask = _pipeline_task(scf)
+    clone = pickle.loads(pickle.dumps(ptask))
+    assert clone.label == ptask.label == scf.fragments[0].label
+    assert clone.cost() == ptask.cost() == ptask.task.cost()
+    assert np.array_equal(clone.global_potential, ptask.global_potential)
+    for got, ref in zip(clone.box_indices, ptask.box_indices):
+        assert np.array_equal(got, ref)
+    assert clone.interior_slice == ptask.interior_slice
+    assert np.array_equal(clone.passivation_potential, ptask.passivation_potential)
+    # The inner solve task ships without a screening potential: the worker
+    # assembles it from the global potential and the index maps.
+    assert clone.task.screening_potential is None
+
+
+def test_pipeline_kernel_matches_unfused_steps():
+    """restrict -> solve -> weighted-interior, fused == step by step."""
+    from repro.core.patching import restrict_to_fragment
+
+    scf = _tiny_scf()
+    fragment = scf.fragments[0]
+    v_in = scf.genpot.initial_potential()
+    pres: FragmentPipelineResult = run_fragment_pipeline_task(
+        _pipeline_task(scf))
+    # Unfused reference: driver-side Gen_VF then the plain solve kernel.
+    restricted = restrict_to_fragment(scf.division, fragment, v_in)
+    task = scf.fragment_solver.make_task(
+        fragment, restricted, eigensolver_tolerance=1e-4,
+        eigensolver_iterations=40)
+    ref = solve_fragment_task(task)
+    np.testing.assert_array_equal(pres.result.density, ref.density)
+    np.testing.assert_array_equal(pres.result.eigenvalues, ref.eigenvalues)
+    assert pres.result.quantum_energy == ref.quantum_energy
+    # The contribution is the alpha-weighted region interior of the density.
+    box = scf.division.fragment_box(fragment)
+    expected = fragment.weight * np.real(ref.density[box.interior_slice])
+    np.testing.assert_array_equal(pres.contribution, expected)
+    assert pres.wall_time >= pres.result.wall_time
+
+
+@pytest.fixture(scope="module")
+def pipeline_matrix():
+    """One pipeline run per backend on the tiny reference system.
+
+    Each entry is ``(result, tasks_submitted, nfragments)``; shared
+    (module scope) because the three SCF runs dominate this file's cost.
+    """
+    runs = {}
+    executor = SerialFragmentExecutor()
+    scf = _tiny_scf(executor, pipeline=True)
+    runs["serial"] = (scf.run(**_RUN_KW), executor.tasks_submitted, scf.nfragments)
+    with ThreadPoolFragmentExecutor(n_workers=2) as executor:
+        scf = _tiny_scf(executor, pipeline=True)
+        runs["threads"] = (scf.run(**_RUN_KW), executor.tasks_submitted, scf.nfragments)
+    with ProcessPoolFragmentExecutor(n_workers=2) as executor:
+        scf = _tiny_scf(executor, pipeline=True)
+        runs["processes"] = (scf.run(**_RUN_KW), executor.tasks_submitted, scf.nfragments)
+    return runs
+
+
+def test_pipeline_backend_equivalence_matrix(seed_run, pipeline_matrix):
+    """Serial, thread and process pipeline runs are bit-identical, and all
+    agree with the seed (unfused serial) path at 1e-8 or tighter."""
+    reference = pipeline_matrix["serial"][0]
+    for name, (result, _, _) in pipeline_matrix.items():
+        # Bit-identical across backends: same tasks, same deterministic
+        # chunked tree-reduce, no summation-order freedom left.
+        np.testing.assert_array_equal(
+            result.density, reference.density, err_msg=f"density ({name})")
+        np.testing.assert_array_equal(
+            result.potential, reference.potential, err_msg=f"potential ({name})")
+        assert result.total_energy == reference.total_energy, name
+        assert result.quantum_energy == reference.quantum_energy, name
+        assert result.convergence_history == reference.convergence_history, name
+        # Acceptance criterion: every combination within 1e-8 of the seed.
+        np.testing.assert_allclose(result.density, seed_run.density, rtol=1e-8)
+        np.testing.assert_allclose(
+            result.potential, seed_run.potential, rtol=1e-8, atol=1e-10)
+        assert result.total_energy == pytest.approx(seed_run.total_energy, rel=1e-8)
+        np.testing.assert_allclose(
+            result.convergence_history, seed_run.convergence_history, rtol=1e-8)
+
+
+def test_pipeline_one_submission_per_fragment_per_iteration(pipeline_matrix):
+    """Acceptance criterion: pipeline=True issues exactly one executor
+    submission per fragment per SCF iteration — on the process pool and on
+    every other backend."""
+    for name, (result, submitted, nfragments) in pipeline_matrix.items():
+        assert result.iterations == 3, name
+        assert submitted == nfragments * result.iterations, name
+
+
+def test_pipeline_requires_capable_executor():
+    class RunOnly:
+        n_workers = 1
+
+        def run(self, tasks):  # pragma: no cover - never called
+            raise AssertionError
+
+    assert isinstance(RunOnly(), FragmentExecutor)
+    assert not isinstance(RunOnly(), PipelineFragmentExecutor)
+    with pytest.raises(TypeError, match="run_pipeline"):
+        _tiny_scf(RunOnly(), pipeline=True)
+    for executor in (
+        SerialFragmentExecutor(),
+        ThreadPoolFragmentExecutor(n_workers=1),
+        ProcessPoolFragmentExecutor(n_workers=1),
+    ):
+        assert isinstance(executor, PipelineFragmentExecutor)
+
+
+def test_pipeline_timings_record_in_worker_steps(seed_run, pipeline_matrix):
+    result, _, nfragments = pipeline_matrix["serial"]
+    for t in result.timings:
+        assert t.pipeline
+        assert len(t.gen_vf_fragments) == nfragments
+        assert len(t.gen_dens_fragments) == nfragments
+        assert len(t.petot_f_fragments) == nfragments
+        # The fused per-fragment wall time contains its restrict and patch.
+        for w, vf, dens in zip(t.petot_f_fragments, t.gen_vf_fragments,
+                               t.gen_dens_fragments):
+            assert w >= vf + dens
+        assert 0.0 <= t.measured_serial_fraction < 1.0
+        assert t.serial_time == t.gen_vf + t.gen_dens + t.genpot
+    # The unfused path keeps the seed timing shape (no in-worker entries).
+    assert not seed_run.timings[0].pipeline
+    assert seed_run.timings[0].gen_vf_fragments == []
+
+
+def test_pipeline_moves_gen_vf_work_into_the_fragments(seed_run, pipeline_matrix):
+    """The point of the fusion, asserted structurally (wall-clock ratios
+    on a loaded 1-core CI box are too noisy to gate on): with the
+    pipeline, real restriction work happens *inside* the per-fragment
+    tasks, and the driver's own Gen_VF no longer performs any per-fragment
+    array restriction — its residue is accounted separately from the
+    in-fragment times.  A deliberately coarse 2x wall-clock guard catches
+    only catastrophic regressions of the driver residue."""
+    pipe_t = pipeline_matrix["serial"][0].timings[-1]
+    seed_t = seed_run.timings[-1]
+    # In-worker restriction happened and is accounted per fragment...
+    assert sum(pipe_t.gen_vf_fragments) > 0
+    # ...while the unfused path has no in-fragment restrict/patch entries.
+    assert seed_t.gen_vf_fragments == [] and seed_t.gen_dens_fragments == []
+    # Coarse driver-residue guard (not a shrinkage proof; see docstring).
+    # Both residues are sub-millisecond on the tiny system, where a single
+    # scheduler stall would swamp any ratio — hence the absolute floor.
+    assert pipe_t.gen_vf + pipe_t.gen_dens < max(
+        2.0 * (seed_t.gen_vf + seed_t.gen_dens), 0.05)
+
+
+def test_pipeline_warm_starts_across_iterations():
+    executor = SerialFragmentExecutor()
+    scf = _tiny_scf(executor, pipeline=True)
+    result = scf.run(max_iterations=2, potential_tolerance=1e-9,
+                     eigensolver_tolerance=1e-4, eigensolver_iterations=40)
+    assert result.iterations == 2
+    assert len(scf.state_cache) == scf.nfragments
+    assert executor.tasks_submitted == scf.nfragments * 2
+    # Warm starts keep the second iteration from costing more than the first.
+    assert result.timings[1].petot_f_cpu <= result.timings[0].petot_f_cpu * 1.5
+
+
+def test_warm_iterations_skip_redundant_gen_vf_passivation_work(monkeypatch):
+    """Regression (ISSUE-2 fix): the fixed passivation potential Delta V_F
+    is built once per passivated fragment, not rebuilt by Gen_VF every
+    iteration — the per-run Hartree-solve count is iteration-independent."""
+    import repro.core.fragment_solver as fragment_solver_module
+
+    calls = {"n": 0}
+    real_hartree = fragment_solver_module.hartree_potential
+
+    def counting_hartree(*args, **kwargs):
+        calls["n"] += 1
+        return real_hartree(*args, **kwargs)
+
+    monkeypatch.setattr(
+        fragment_solver_module, "hartree_potential", counting_hartree)
+
+    scf = _tiny_scf()
+    scf.run(max_iterations=1, potential_tolerance=1e-9,
+            eigensolver_tolerance=1e-4, eigensolver_iterations=40)
+    calls_one_iteration = calls["n"]
+    # Not every fragment needs passivants (fragments spanning a full
+    # periodic axis have no cut bonds), but some must.
+    assert 0 < calls_one_iteration <= scf.nfragments
+
+    calls["n"] = 0
+    result = scf = None  # noqa: F841 - drop, then rerun from scratch
+    scf = _tiny_scf()
+    result = scf.run(**_RUN_KW)
+    assert result.iterations == 3
+    # One Hartree solve per passivated fragment for the whole run; warm
+    # iterations reuse the cached array instead of redoing Gen_VF setup.
+    assert calls["n"] == calls_one_iteration
 
 
 def test_timings_record_per_fragment_wall_times():

@@ -83,6 +83,7 @@ def test_bench_table1(benchmark, results_dir):
     franklin = [r for p, r in rows if r["machine"] == "Franklin"]
     jaguar = [r for p, r in rows if r["machine"] == "Jaguar"]
     intrepid = [r for p, r in rows if r["machine"] == "Intrepid"]
-    mean = lambda rs, k: sum(r[k] for r in rs) / len(rs)
+    def mean(rs, k):
+        return sum(r[k] for r in rs) / len(rs)
     assert mean(franklin, "% peak") > mean(intrepid, "% peak") > mean(jaguar, "% peak")
     assert max(r["Tflop/s"] for r in intrepid) == max(r["Tflop/s"] for r in printable)

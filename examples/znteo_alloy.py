@@ -26,7 +26,6 @@ import numpy as np
 
 from repro.analysis import localization_report
 from repro.atoms import build_znteo_alloy, relax_structure
-from repro.constants import HARTREE_TO_EV
 from repro.core import LS3DF
 from repro.io import write_grid_npz
 

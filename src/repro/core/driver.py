@@ -79,6 +79,13 @@ class LS3DF:
         :class:`repro.core.scf.LS3DFSCF`); all shipped executors support
         it.  Default False (the serial data path, byte-identical results
         to the seed).
+    genpot_shards:
+        Distribute the GENPOT global steps (Poisson, XC, mixing) over
+        this many 1D z-slabs pushed through ``executor`` — the paper's
+        slab data layout for the global grid.  Bit-identical results for
+        any shard count; default 1 (serial global step).  See
+        :class:`repro.core.genpot.GlobalPotentialSolver` and
+        :mod:`repro.parallel.distributed`.
     kwargs:
         Remaining options forwarded to :class:`repro.core.scf.LS3DFSCF`
         (buffer_cells, mixer, eigensolver, passivation switches,
@@ -93,6 +100,7 @@ class LS3DF:
         pseudopotentials: PseudopotentialSet | None = None,
         executor: FragmentExecutor | None = None,
         pipeline: bool = False,
+        genpot_shards: int | None = None,
         **kwargs,
     ) -> None:
         self.structure = structure
@@ -104,6 +112,7 @@ class LS3DF:
             pseudopotentials=self.pseudopotentials,
             executor=executor,
             pipeline=pipeline,
+            genpot_shards=genpot_shards,
             **kwargs,
         )
         self.ecut = float(ecut)
@@ -117,6 +126,11 @@ class LS3DF:
     def pipeline(self) -> bool:
         """Whether the SCF loop runs fused fragment pipeline tasks."""
         return self.scf.pipeline
+
+    @property
+    def genpot_shards(self) -> int:
+        """Number of z-slabs the GENPOT global steps are distributed over."""
+        return self.scf.genpot_shards
 
     # -- convenience accessors ------------------------------------------------
     @property

@@ -121,7 +121,6 @@ def passivate_fragment(
     box_cell = np.asarray(box.cell)
 
     symbols = frag_structure.symbols
-    positions = [frag_structure.positions]
     pass_symbols: list[str] = []
     pass_positions: list[np.ndarray] = []
     cut_bonds: list[tuple[int, str]] = []

@@ -72,6 +72,14 @@ class IterationTimings:
     expose how much of the iteration actually remained serial — the
     measured counterpart of the paper's Amdahl fit (compare
     :func:`repro.parallel.amdahl.serial_fraction_history`).
+
+    ``genpot_poisson`` / ``genpot_xc`` / ``genpot_mix`` break the GENPOT
+    wall time down into its three global steps.  With ``genpot_shards >
+    1`` those steps run as per-slab tasks through the executor: their
+    in-worker wall times land in ``genpot_tasks`` (counted as parallel
+    work by ``parallel_cpu``), ``genpot_sharded`` is set, and only the
+    driver residue ``genpot_driver`` (slab scatter/gather/exchange,
+    scalar reductions, task overhead) stays in ``serial_time``.
     """
 
     gen_vf: float = 0.0
@@ -83,6 +91,12 @@ class IterationTimings:
     gen_vf_fragments: list[float] = field(default_factory=list)
     gen_dens_fragments: list[float] = field(default_factory=list)
     pipeline: bool = False
+    genpot_poisson: float = 0.0
+    genpot_xc: float = 0.0
+    genpot_mix: float = 0.0
+    genpot_driver: float = 0.0
+    genpot_tasks: list[float] = field(default_factory=list)
+    genpot_sharded: bool = False
 
     @property
     def total(self) -> float:
@@ -101,24 +115,45 @@ class IterationTimings:
         return self.petot_f_cpu / self.petot_f
 
     @property
+    def genpot_cpu(self) -> float:
+        """Summed in-worker time of the sharded GENPOT's per-slab tasks."""
+        return float(sum(self.genpot_tasks))
+
+    @property
     def serial_time(self) -> float:
         """Driver-side unparallelised time of the iteration.
 
         The Gen_VF and Gen_dens entries time serial per-fragment driver
         loops on the unfused path but only task building plus the chunked
-        tree-reduce on the pipeline path; GENPOT is serial either way.
+        tree-reduce on the pipeline path.  GENPOT is serial on the
+        default path; with ``genpot_shards > 1`` the per-slab Poisson/XC/
+        mixing work moves to the executor (parallel bucket) and only the
+        driver residue — layout conversion, scalar reductions, task
+        overhead (``genpot_driver``) — remains serial.
         """
-        return self.gen_vf + self.gen_dens + self.genpot
+        genpot_serial = self.genpot_driver if self.genpot_sharded else self.genpot
+        return self.gen_vf + self.gen_dens + genpot_serial
+
+    @property
+    def parallel_cpu(self) -> float:
+        """Serial-equivalent cost of the executor-distributable work.
+
+        The summed per-fragment wall times, plus the summed per-slab
+        GENPOT task times when the global step is sharded.
+        """
+        genpot_parallel = self.genpot_cpu if self.genpot_sharded else 0.0
+        return self.petot_f_cpu + genpot_parallel
 
     @property
     def measured_serial_fraction(self) -> float:
         """Measured Amdahl alpha: serial / (serial + parallelisable CPU).
 
-        The parallelisable part is the summed per-fragment wall time —
-        the serial-equivalent cost of the work the executor may spread
-        over any number of workers.
+        The parallelisable part is the summed per-fragment wall time
+        (plus the per-slab GENPOT task time when sharded) — the
+        serial-equivalent cost of the work the executor may spread over
+        any number of workers.
         """
-        denominator = self.serial_time + self.petot_f_cpu
+        denominator = self.serial_time + self.parallel_cpu
         if denominator <= 0:
             return 0.0
         return self.serial_time / denominator
@@ -228,6 +263,15 @@ class LS3DFSCF:
         :func:`repro.core.patching.patch_contributions`).  Fixed by
         fragment order only, so results are independent of the backend
         and worker count.  Ignored when ``pipeline`` is False.
+    genpot_shards:
+        Number of 1D z-slabs the GENPOT global steps are distributed
+        over (the paper's dual fragment/slab data layout).  The default
+        ``None`` (or 1) keeps the serial global step.  With more shards
+        the Poisson solve, XC and mixing run as per-slab
+        :class:`~repro.parallel.distributed.GlobalStepTask` batches
+        through this driver's ``executor`` — bit-identical results for
+        any shard count and backend — and the iteration timings count the
+        per-slab work as parallel (see :class:`IterationTimings`).
     """
 
     def __init__(
@@ -248,6 +292,7 @@ class LS3DFSCF:
         executor: FragmentExecutor | None = None,
         pipeline: bool = False,
         patch_chunk_size: int = 8,
+        genpot_shards: int | None = None,
     ) -> None:
         self.structure = structure
         self.grid_dims = tuple(int(m) for m in grid_dims)
@@ -269,13 +314,6 @@ class LS3DFSCF:
             passivate=passivate,
             polar_passivation=polar_passivation,
         )
-        self.genpot = GlobalPotentialSolver(
-            structure,
-            global_grid,
-            self.pseudopotentials,
-            mixer=mixer,
-            mixer_options=mixer_options,
-        )
         if executor is None:
             # Imported lazily: repro.parallel.executor depends on
             # repro.core.fragment_task, so a module-level import here would
@@ -283,6 +321,16 @@ class LS3DFSCF:
             from repro.parallel.executor import SerialFragmentExecutor
 
             executor = SerialFragmentExecutor()
+        self.genpot = GlobalPotentialSolver(
+            structure,
+            global_grid,
+            self.pseudopotentials,
+            mixer=mixer,
+            mixer_options=mixer_options,
+            shards=genpot_shards,
+            executor=executor,
+        )
+        self.genpot_shards = self.genpot.shards
         self.pipeline = bool(pipeline)
         if self.pipeline and not isinstance(executor, PipelineFragmentExecutor):
             raise TypeError(
@@ -479,11 +527,19 @@ class LS3DFSCF:
                 )
                 t.gen_dens = time.perf_counter() - t0
 
-            # --- GENPOT: global Poisson + XC + mixing.
+            # --- GENPOT: global Poisson + XC + mixing (slab-distributed
+            # through the executor when genpot_shards > 1).
             t0 = time.perf_counter()
             out = self.genpot.evaluate(density, v_in)
             density = out.density
             t.genpot = time.perf_counter() - t0
+            if out.timings is not None:
+                t.genpot_poisson = out.timings.poisson
+                t.genpot_xc = out.timings.xc
+                t.genpot_mix = out.timings.mix
+                t.genpot_driver = out.timings.driver
+                t.genpot_tasks = out.timings.task_times
+                t.genpot_sharded = out.timings.sharded
             timings.append(t)
 
             quantum_energy = float(

@@ -23,7 +23,13 @@ explicit execution model:
 * :mod:`repro.parallel.executor`  — *real* fragment-execution backends
   (serial, thread pool, persistent process pool) behind the
   :class:`repro.core.fragment_task.FragmentExecutor` protocol, for
-  running actual fragment solves concurrently on local cores.
+  running actual fragment solves concurrently on local cores;
+* :mod:`repro.parallel.distributed` — the paper's 1D slab data layout for
+  the *global* steps: :class:`~repro.parallel.distributed.DistributedField`
+  (scatter/gather/exchange), a slab-transpose distributed FFT that is
+  bit-identical to ``numpy.fft.fftn``, and the per-slab
+  :class:`~repro.parallel.distributed.GlobalStepTask` units the sharded
+  GENPOT path pushes through the same executor backends.
 """
 
 from repro.parallel.machine import Machine, FRANKLIN, JAGUAR, INTREPID, machine_by_name
@@ -39,6 +45,20 @@ from repro.parallel.amdahl import (
     SerialFractionEstimate,
     measured_serial_fraction,
     serial_fraction_history,
+    sharded_genpot_estimate,
+)
+from repro.parallel.distributed import (
+    DistributedField,
+    GlobalStepExecutor,
+    GlobalStepResult,
+    GlobalStepTask,
+    distributed_fftn,
+    distributed_ifftn,
+    run_global_step_task,
+    sharded_hartree_potential,
+    sharded_mix,
+    sharded_xc,
+    slab_bounds,
 )
 from repro.parallel.executor import (
     ExecutionReport,
@@ -77,6 +97,18 @@ __all__ = [
     "SerialFractionEstimate",
     "measured_serial_fraction",
     "serial_fraction_history",
+    "sharded_genpot_estimate",
+    "DistributedField",
+    "GlobalStepExecutor",
+    "GlobalStepResult",
+    "GlobalStepTask",
+    "distributed_fftn",
+    "distributed_ifftn",
+    "run_global_step_task",
+    "sharded_hartree_potential",
+    "sharded_mix",
+    "sharded_xc",
+    "slab_bounds",
     "ExecutionReport",
     "FragmentExecutor",
     "FragmentPipelineResult",

@@ -177,11 +177,52 @@ def serial_fraction_history(timings: Sequence) -> list[SerialFractionEstimate]:
     """Measured serial fraction of every iteration of an LS3DF run.
 
     ``timings`` is a sequence of objects with ``serial_time`` and
-    ``petot_f_cpu`` attributes —
+    ``parallel_cpu`` (or legacy ``petot_f_cpu``) attributes —
     :class:`repro.core.scf.IterationTimings` as recorded in
     ``LS3DFResult.timings`` (duck-typed here to keep this module free of
-    core imports).
+    core imports).  ``parallel_cpu`` includes the per-slab GENPOT task
+    time when the global step is sharded, so the measured alpha reflects
+    the work actually left on the driver.
     """
     return [
-        measured_serial_fraction(t.serial_time, t.petot_f_cpu) for t in timings
+        measured_serial_fraction(
+            t.serial_time,
+            t.parallel_cpu if hasattr(t, "parallel_cpu") else t.petot_f_cpu,
+        )
+        for t in timings
     ]
+
+
+def sharded_genpot_estimate(
+    estimate: SerialFractionEstimate,
+    genpot_time: float,
+    conversion_time: float = 0.0,
+) -> SerialFractionEstimate:
+    """Predicted serial fraction after sharding the GENPOT global step.
+
+    The paper's dual-layout design moves the Poisson/XC/mixing work of
+    the global step onto the 1D slab decomposition (parallel bucket) but
+    charges the fragment<->slab layout conversion to what remains serial:
+
+        alpha' = (t_serial - t_genpot + t_conv) / (t_total + t_conv)
+
+    Parameters
+    ----------
+    estimate:
+        Measured serial fraction with the serial global step (``genpot``
+        included in its ``serial_time``).
+    genpot_time:
+        The GENPOT wall time contained in ``estimate.serial_time`` that
+        sharding moves to the parallel bucket.
+    conversion_time:
+        Layout-conversion cost charged back to the serial bucket (see
+        :meth:`repro.parallel.comm.CommunicationModel.layout_conversion_time`).
+    """
+    if genpot_time < 0 or conversion_time < 0:
+        raise ValueError("times must be non-negative")
+    if genpot_time > estimate.serial_time:
+        raise ValueError("genpot_time exceeds the measured serial time")
+    return measured_serial_fraction(
+        estimate.serial_time - genpot_time + conversion_time,
+        estimate.parallel_time + genpot_time,
+    )

@@ -89,6 +89,45 @@ class CommunicationModel:
         return data_bytes / bandwidth + overhead
 
     # ------------------------------------------------------------------
+    def layout_conversion_time(
+        self, data_bytes: float, cores: int, nshards: int | None = None
+    ) -> float:
+        """Fragment<->slab layout conversion cost of the sharded global step.
+
+        The paper runs GENPOT on a 1D slab decomposition of the global
+        grid while fragments live on processor groups; every iteration
+        converts the patched density into slabs and the mixed potential
+        back (2x the field volume), paying per-shard message overhead on
+        top of the transfer itself.  This is the data-movement cost the
+        paper charges to the global step — the term
+        :func:`repro.parallel.amdahl.sharded_genpot_estimate` adds back
+        to the serial bucket.
+
+        Parameters
+        ----------
+        data_bytes:
+            Size of one global field (the density or the potential).
+        cores:
+            Total core count.
+        nshards:
+            Number of slabs; defaults to one per node.
+        """
+        if data_bytes < 0:
+            raise ValueError("data volume must be non-negative")
+        if cores < 1:
+            raise ValueError("cores must be positive")
+        if nshards is None:
+            nshards = max(1, cores // self.machine.cores_per_node)
+        if nshards < 1:
+            raise ValueError("nshards must be positive")
+        per_shard_overhead = self.machine.network_latency_us * 1e-6 * nshards
+        return (
+            2.0 * self.transfer_time(data_bytes, cores)
+            + self.barrier_time(cores)
+            + per_shard_overhead
+        )
+
+    # ------------------------------------------------------------------
     def allreduce_time(self, data_bytes: float, cores: int) -> float:
         """Time of a global reduction of ``data_bytes`` over ``cores`` cores."""
         if cores < 1:

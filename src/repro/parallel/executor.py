@@ -20,7 +20,11 @@ descriptions — there is no backend-specific solve path.  Every backend
 also implements ``run_pipeline`` for fused
 :class:`repro.core.fragment_task.FragmentPipelineTask` batches (restrict
 -> solve -> weighted-density contribution in one worker round trip; see
-:func:`repro.core.fragment_task.run_fragment_pipeline_task`).  The pool
+:func:`repro.core.fragment_task.run_fragment_pipeline_task`) and
+``run_global`` for the per-slab global-step tasks of the sharded GENPOT
+path (:class:`repro.parallel.distributed.GlobalStepTask` — the paper's
+1D-slab layout of the Poisson/XC/mixing work; see
+:func:`repro.parallel.distributed.run_global_step_task`).  The pool
 backends order submissions heaviest-first, the greedy longest-processing-
 time (LPT) heuristic :mod:`repro.parallel.scheduler` uses to balance
 fragment classes whose costs differ by ~8x (1x1x1 vs 2x2x2 cells), and
@@ -41,7 +45,7 @@ import numpy as np
 # the kernel's signature changed with the move: solve_fragment_task takes
 # an optional TaskProblem (not the old return_coefficients flag — that is
 # now the task's `return_coefficients` field, default True).
-from repro.core.fragment_task import (  # noqa: F401
+from repro.core.fragment_task import (
     ExecutionReport,
     FragmentExecutor,
     FragmentPipelineResult,
@@ -52,7 +56,32 @@ from repro.core.fragment_task import (  # noqa: F401
     run_fragment_pipeline_task,
     solve_fragment_task,
 )
+from repro.parallel.distributed import (
+    GlobalStepExecutor,
+    GlobalStepTask,
+    run_global_step_task,
+)
 from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
+
+__all__ = [
+    "ExecutionReport",
+    "FragmentExecutor",
+    "FragmentPipelineResult",
+    "FragmentPipelineTask",
+    "FragmentScheduler",
+    "FragmentTask",
+    "FragmentTaskResult",
+    "GlobalStepExecutor",
+    "GlobalStepTask",
+    "PipelineFragmentExecutor",
+    "ProcessPoolFragmentExecutor",
+    "ScheduleSummary",
+    "SerialFragmentExecutor",
+    "ThreadPoolFragmentExecutor",
+    "run_fragment_pipeline_task",
+    "run_global_step_task",
+    "solve_fragment_task",
+]
 
 
 def _resolve_worker_count(n_workers: int | None, nworkers: int | None) -> int:
@@ -87,6 +116,10 @@ class SerialFragmentExecutor:
     ) -> ExecutionReport:
         """Run fused Gen_VF -> solve -> Gen_dens tasks, one after another."""
         return self._execute(tasks, run_fragment_pipeline_task)
+
+    def run_global(self, tasks: Sequence[GlobalStepTask]) -> ExecutionReport:
+        """Run per-slab GENPOT global-step tasks, one after another."""
+        return self._execute(tasks, run_global_step_task)
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
@@ -150,6 +183,16 @@ class _PoolFragmentExecutor:
         two driver-side serial loops around it).
         """
         return self._execute(tasks, run_fragment_pipeline_task)
+
+    def run_global(self, tasks: Sequence[GlobalStepTask]) -> ExecutionReport:
+        """Run per-slab GENPOT global-step tasks through the pool.
+
+        Each stage of the sharded global step is exactly one submission
+        per slab; the report's ``results`` stay in slab order, so every
+        downstream reduction sees the deterministic slab ordering that
+        keeps sharded results bit-identical to the unsharded path.
+        """
+        return self._execute(tasks, run_global_step_task)
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()

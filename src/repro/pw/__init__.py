@@ -29,7 +29,7 @@ from repro.pw.pseudopotential import (
 )
 from repro.pw.hamiltonian import Hamiltonian
 from repro.pw.eigensolver import all_band_cg, band_by_band_cg, exact_diagonalization
-from repro.pw.mixing import AndersonMixer, KerkerMixer, LinearMixer
+from repro.pw.mixing import AndersonMixer, KerkerMixer, LinearMixer, Mixer, make_mixer
 from repro.pw.scf import DirectSCF, SCFResult
 from repro.pw.fsm import folded_spectrum
 
@@ -46,6 +46,8 @@ __all__ = [
     "AndersonMixer",
     "KerkerMixer",
     "LinearMixer",
+    "Mixer",
+    "make_mixer",
     "DirectSCF",
     "SCFResult",
     "folded_spectrum",

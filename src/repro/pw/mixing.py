@@ -11,22 +11,56 @@ previous iterations.  Three standard mixers are provided:
 * :class:`AndersonMixer` — Anderson/Pulay (DIIS) mixing over a history of
   residuals, the scheme production plane-wave codes (and LS3DF) use.
 
-All mixers operate on real-space potential arrays of a fixed grid shape
-and expose the same ``mix(v_in, v_out) -> v_next`` interface.
+All mixers implement the :class:`Mixer` protocol — real-space potential
+arrays in, the next input potential out — plus a declared *sharding*
+capability that tells the distributed GENPOT path
+(:mod:`repro.parallel.distributed`) how to run the mix on 1D slabs of the
+global grid without changing a single bit of the result.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.pw.grid import FFTGrid
 
 
-class LinearMixer:
+@runtime_checkable
+class Mixer(Protocol):
+    """Protocol of every potential-mixing scheme.
+
+    ``sharding`` declares how the mix decomposes over 1D slabs of the
+    global grid (see :func:`repro.parallel.distributed.sharded_mix`):
+
+    * ``"pointwise"`` — the mix is elementwise; the mixer provides
+      ``mix_slab(v_in_slab, v_out_slab)`` and any slab partition of the
+      global mix is bit-identical to the full-array mix;
+    * ``"spectral"``  — the mix filters the residual in reciprocal space;
+      the mixer provides ``spectral_filter()`` (the full-grid filter, to
+      be sliced into slabs) and ``alpha`` (the damped-step weight);
+    * ``"serial"``    — the mix needs global reductions (e.g. a history
+      gram matrix) and runs on the gathered potentials.
+
+    Custom mixers only have to provide ``reset``/``mix`` (and default to
+    serial sharding) to plug into
+    :class:`repro.core.genpot.GlobalPotentialSolver`.
+    """
+
+    sharding: str
+
+    def reset(self) -> None: ...
+
+    def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray: ...
+
+
+class LinearMixer(Mixer):
     """Simple linear (damped) potential mixing."""
+
+    sharding = "pointwise"
 
     def __init__(self, alpha: float = 0.3) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -41,8 +75,16 @@ class LinearMixer:
             raise ValueError("potential shape mismatch")
         return (1.0 - self.alpha) * v_in + self.alpha * v_out
 
+    def mix_slab(self, v_in_slab: np.ndarray, v_out_slab: np.ndarray) -> np.ndarray:
+        """Shard-wise mix: elementwise, so any slab of the global mix.
 
-class KerkerMixer:
+        Same arithmetic as :meth:`mix`, applied to one slab — the
+        gathered slab mixes are bit-identical to the full-array mix.
+        """
+        return (1.0 - self.alpha) * v_in_slab + self.alpha * v_out_slab
+
+
+class KerkerMixer(Mixer):
     """Kerker-preconditioned linear mixing.
 
     The residual is filtered in reciprocal space by q^2 / (q^2 + q0^2),
@@ -50,6 +92,8 @@ class KerkerMixer:
     sloshing in large supercells — important precisely in the LS3DF regime
     of thousands of atoms.
     """
+
+    sharding = "spectral"
 
     def __init__(self, grid: FFTGrid, alpha: float = 0.5, q0: float = 0.8) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -74,6 +118,17 @@ class KerkerMixer:
         update = np.real(np.fft.ifftn(self._filter * resid_g))
         return v_in + self.alpha * update
 
+    def spectral_filter(self) -> np.ndarray:
+        """Shard-wise mix: the full-grid reciprocal-space filter.
+
+        The sharded GENPOT path slices this into z-slabs aligned with the
+        distributed FFT of the residual, multiplies per slab (bit-
+        identical to the full-array product) and recombines each slab as
+        ``v_in + alpha * update`` — the arithmetic of :meth:`mix`,
+        distributed.
+        """
+        return self._filter
+
 
 @dataclass
 class _HistoryEntry:
@@ -81,14 +136,21 @@ class _HistoryEntry:
     residual: np.ndarray
 
 
-class AndersonMixer:
+class AndersonMixer(Mixer):
     """Anderson (Pulay/DIIS) mixing with a bounded history.
 
     Finds the linear combination of previous (v_in, residual) pairs that
     minimises the norm of the combined residual, then takes a damped step
     along the combined output.  Falls back to plain linear mixing while the
     history is too short or the normal equations are ill-conditioned.
+
+    Sharding is ``"serial"``: the history gram matrix is a global o(N)
+    reduction over whole-grid residuals, so the sharded GENPOT path
+    gathers the potentials and runs :meth:`mix` on the driver (the same
+    place the paper's global module does its allreduces).
     """
+
+    sharding = "serial"
 
     def __init__(self, alpha: float = 0.4, history: int = 5) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -144,8 +206,12 @@ class AndersonMixer:
         return v_opt + self.alpha * r_opt
 
 
-def make_mixer(kind: str, grid: FFTGrid | None = None, **kwargs) -> LinearMixer | KerkerMixer | AndersonMixer:
+def make_mixer(kind: str, grid: FFTGrid | None = None, **kwargs) -> Mixer:
     """Factory used by the SCF drivers.
+
+    All three shipped mixers implement (and explicitly subclass) the
+    :class:`Mixer` protocol, so callers dispatch on the protocol rather
+    than a concrete-class union.
 
     Parameters
     ----------

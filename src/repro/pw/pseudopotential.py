@@ -26,7 +26,7 @@ host conduction states (the paper's mid-band-gap states).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Mapping
 
 import numpy as np
 

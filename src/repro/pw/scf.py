@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.atoms.structure import Structure
 from repro.pw.basis import PlaneWaveBasis
-from repro.pw.density import compute_density, integrated_charge, occupations_for_insulator
+from repro.pw.density import compute_density, occupations_for_insulator
 from repro.pw.eigensolver import EigensolverResult, all_band_cg, band_by_band_cg, exact_diagonalization
 from repro.pw.energy import (
     EnergyBreakdown,

@@ -9,7 +9,6 @@ from repro.analysis.states import (
     localization_report,
     oxygen_band_analysis,
 )
-from repro.atoms.structure import Structure
 from repro.atoms.toy import cscl_binary
 from repro.io.gridio import write_cube_like, write_grid_npz
 from repro.io.results import ResultRecord, load_records, save_records

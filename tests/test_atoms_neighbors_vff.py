@@ -7,7 +7,6 @@ from repro.atoms.neighbors import (
     build_neighbor_list,
     tetrahedral_bond_cutoff,
 )
-from repro.atoms.structure import Structure
 from repro.atoms.vff import KeatingVFF, relax_structure
 from repro.atoms.zincblende import zincblende_supercell, zincblende_unit_cell
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.atoms.toy import cscl_binary, simple_cubic
+from repro.atoms.toy import cscl_binary
 from repro.pw.basis import PlaneWaveBasis
 from repro.pw.density import compute_density, integrated_charge, occupations_for_insulator
 from repro.pw.eigensolver import all_band_cg, band_by_band_cg, exact_diagonalization
@@ -11,7 +11,6 @@ from repro.pw.energy import (
     electrostatic_energy,
     potential_distance,
     screening_potential,
-    total_energy_from_eigenvalues,
     total_energy_from_orbitals,
 )
 from repro.pw.fsm import folded_spectrum

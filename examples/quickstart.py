@@ -10,19 +10,49 @@ This is the smallest end-to-end use of the public API:
 Run time: a few minutes on a laptop.
 
 Usage:  python examples/quickstart.py
+
+Checkpoint/restart (the paper's production runs restart from saved SCF
+state after preemption) is demonstrated by the ``--checkpoint-dir`` and
+``--resume`` flags: run with a checkpoint directory, kill the process
+mid-SCF (Ctrl-C), then rerun the same command with ``--resume`` — the
+loop continues at the saved iteration and the remaining iterates are
+bit-identical to an uninterrupted run:
+
+    python examples/quickstart.py --checkpoint-dir /tmp/ls3df-ckpt
+    # ... kill it after a few "LS3DF   n:" lines ...
+    python examples/quickstart.py --checkpoint-dir /tmp/ls3df-ckpt --resume
 """
 
 from __future__ import annotations
+
+import argparse
 
 import numpy as np
 
 from repro.atoms import cscl_binary
 from repro.constants import HARTREE_TO_EV
 from repro.core import LS3DF
+from repro.io import has_checkpoint, read_manifest
 from repro.pw import DirectSCF
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="save SCF checkpoints to DIR after every iteration",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir (fresh run if none)",
+    )
+    parser.add_argument(
+        "--max-iterations", type=int, default=12,
+        help="LS3DF outer iteration cap (default 12)",
+    )
+    args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
     # 1. A small Zn-Se toy crystal: 2x1x1 cubic cells, 4 atoms, 16 electrons.
     structure = cscl_binary((2, 1, 1), "Zn", "Se", lattice_constant=6.5)
     print(f"System: {structure.formula()}  ({structure.natoms} atoms, "
@@ -31,8 +61,19 @@ def main() -> None:
     # 2. LS3DF: fragment grid = the cell grid (2 x 1 x 1), four fragments.
     ls3df = LS3DF(structure, grid_dims=(2, 1, 1), ecut=2.4, buffer_cells=0.5, n_empty=3)
     print(f"LS3DF fragments: {ls3df.nfragments}, global grid {ls3df.global_grid.shape}")
-    ls_result = ls3df.run(max_iterations=12, potential_tolerance=2e-3,
-                          eigensolver_tolerance=1e-5, verbose=True)
+    if args.resume and has_checkpoint(args.checkpoint_dir):
+        saved_iteration = int(read_manifest(args.checkpoint_dir)["iteration"])
+        if saved_iteration >= args.max_iterations:
+            parser.exit(
+                message=f"Checkpoint in {args.checkpoint_dir} already covers "
+                f"iteration {saved_iteration}; the SCF finished.  Rerun with a "
+                f"higher --max-iterations to continue it, or delete the "
+                f"directory to start over.\n"
+            )
+        print(f"Resuming from {args.checkpoint_dir} at iteration {saved_iteration + 1}")
+    ls_result = ls3df.run(max_iterations=args.max_iterations, potential_tolerance=2e-3,
+                          eigensolver_tolerance=1e-5, verbose=True,
+                          checkpoint_dir=args.checkpoint_dir, resume=args.resume)
     print(f"LS3DF total energy:  {ls_result.total_energy:.6f} Ha "
           f"(converged={ls_result.converged}, {ls_result.iterations} iterations)")
 

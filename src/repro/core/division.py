@@ -11,6 +11,7 @@ operations with no interpolation.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -218,3 +219,30 @@ class SpatialDivision:
     def n_fragment_cells(self) -> int:
         """Total number of grid cells M = m1*m2*m3."""
         return int(np.prod(self.grid_dims))
+
+    def signature(self) -> str:
+        """Digest identifying this division (checkpoint compatibility key).
+
+        Hashes the geometry the fragment problems are built from — the
+        supercell (cell vectors, atom symbols and positions), the
+        fragment grid dimensions, the global FFT grid shape and the
+        buffer thickness.  Solver parameters that also shape persisted
+        state (plane-wave cutoff, empty-band count) live outside the
+        division; :meth:`repro.core.scf.LS3DFSCF._problem_signature`
+        salts this digest with them before it is stored in a checkpoint
+        manifest, and resuming refuses to load when the combined
+        signature differs.
+
+        Returns
+        -------
+        str
+            Hex SHA-256 digest.
+        """
+        h = hashlib.sha256()
+        h.update(np.asarray(self.structure.cell, dtype=float).tobytes())
+        h.update(",".join(self.structure.symbols).encode())
+        h.update(np.ascontiguousarray(self.structure.positions, dtype=float).tobytes())
+        h.update(np.asarray(self.grid_dims, dtype=np.int64).tobytes())
+        h.update(np.asarray(self.global_grid.shape, dtype=np.int64).tobytes())
+        h.update(np.asarray(self.buffer_points, dtype=np.int64).tobytes())
+        return h.hexdigest()

@@ -147,7 +147,25 @@ class LS3DF:
 
     # -- main entry points ------------------------------------------------------
     def run(self, **kwargs) -> LS3DFResult:
-        """Run the LS3DF self-consistent loop (see :meth:`LS3DFSCF.run`)."""
+        """Run the LS3DF self-consistent loop.
+
+        Parameters
+        ----------
+        kwargs:
+            Forwarded to :meth:`repro.core.scf.LS3DFSCF.run` —
+            ``max_iterations``, ``potential_tolerance``, eigensolver
+            controls, and the checkpoint/restart options
+            ``checkpoint_dir=`` / ``checkpoint_every=`` / ``resume=``
+            (persist the SCF state each iteration and resume a killed
+            run with bit-identical iterates; see
+            :mod:`repro.io.checkpoint`).
+
+        Returns
+        -------
+        LS3DFResult
+            Converged (or iteration-limited) density, potential,
+            energies and per-iteration histories.
+        """
         return self.scf.run(**kwargs)
 
     def full_system_hamiltonian(

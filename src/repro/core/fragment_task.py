@@ -140,7 +140,34 @@ class FragmentTask:
 
 @dataclass
 class FragmentTaskResult:
-    """Result of one executed fragment task."""
+    """Result of one executed fragment task.
+
+    Attributes
+    ----------
+    label:
+        The solved fragment's label (matches ``FragmentTask.label``).
+    eigenvalues:
+        Fragment band energies (Hartree), ascending.
+    density:
+        Electron density on the fragment-box grid.
+    quantum_energy:
+        sum_i occ_i <psi_i| T + V_sr + V_NL |psi_i> — the screened parts
+        are assembled globally by GENPOT, so they are excluded here.
+    band_energy:
+        sum_i occ_i eps_i with the full (screened) fragment Hamiltonian.
+    solver_iterations:
+        Iterations the eigensolver used.
+    converged:
+        Eigensolver convergence flag.
+    wall_time:
+        In-worker wall-clock seconds of this solve.
+    worker_pid:
+        PID of the process that executed the solve (distinguishes pool
+        workers from the driver).
+    coefficients:
+        Converged wavefunctions, or ``None`` when the task was built
+        with ``return_coefficients=False``.
+    """
 
     label: str
     eigenvalues: np.ndarray
@@ -162,6 +189,20 @@ class TaskProblem:
     projectors — is the expensive setup the paper keeps resident in the
     LS3DF global module between iterations; here it is cached per process
     keyed by :meth:`FragmentTask.static_fingerprint`.
+
+    Attributes
+    ----------
+    fingerprint:
+        The owning task's static fingerprint (the cache key).
+    structure:
+        Fragment atoms (including passivants) in the box frame.
+    grid, basis, hamiltonian:
+        The fragment's FFT grid, plane-wave basis and Hamiltonian.
+    nelectrons, nbands, occupations:
+        Electron count, band count and fixed insulator occupations.
+    lock:
+        Guards the Hamiltonian's mutable potential during a solve (two
+        same-fingerprint tasks may run concurrently on threads).
     """
 
     fingerprint: str
@@ -181,7 +222,22 @@ class TaskProblem:
 
 
 def build_task_problem(task: FragmentTask) -> TaskProblem:
-    """Construct the static problem of one task (no caching)."""
+    """Construct the static problem of one task (no caching).
+
+    Parameters
+    ----------
+    task:
+        Any task of the fragment; only the iteration-independent fields
+        (geometry, grid, cutoff, band counts) are read, so a template
+        task without a screening potential works.
+
+    Returns
+    -------
+    TaskProblem
+        Freshly built basis, Hamiltonian and occupations.  Most callers
+        want :func:`get_task_problem`, which consults the per-process
+        cache first.
+    """
     structure = Structure(task.cell, list(task.symbols), task.positions)
     grid = FFTGrid(task.cell, task.grid_shape)
     basis = PlaneWaveBasis(grid, task.ecut)
@@ -228,7 +284,20 @@ def _cache_insert(key: str, problem: TaskProblem) -> None:
 
 
 def get_task_problem(task: FragmentTask) -> TaskProblem:
-    """Fetch (or build and cache) the static problem of one task."""
+    """Fetch (or build and cache) the static problem of one task.
+
+    Parameters
+    ----------
+    task:
+        The task whose static problem is needed; its
+        :meth:`FragmentTask.static_fingerprint` is the cache key.
+
+    Returns
+    -------
+    TaskProblem
+        The cached problem when one with the same fingerprint exists in
+        this process, otherwise a freshly built (and newly cached) one.
+    """
     key = task.static_fingerprint()
     with _PROBLEM_CACHE_LOCK:
         problem = _PROBLEM_CACHE.get(key)
@@ -243,6 +312,11 @@ def seed_task_problem(problem: TaskProblem) -> None:
 
     :class:`repro.core.fragment_solver.FragmentSolver` uses this so the
     in-process backends never rebuild a Hamiltonian the solver already has.
+
+    Parameters
+    ----------
+    problem:
+        The built problem; stored under its own ``fingerprint``.
     """
     _cache_insert(problem.fingerprint, problem)
 
@@ -260,8 +334,23 @@ def solve_fragment_task(
 
     Runs identically in the calling process (serial backend, thread
     backend, :class:`~repro.core.fragment_solver.FragmentSolver`) and
-    inside process-pool workers.  ``problem`` may be passed to bypass the
-    per-process cache lookup when the caller already holds the static data.
+    inside process-pool workers.
+
+    Parameters
+    ----------
+    task:
+        The fragment solve description; must carry a real
+        ``screening_potential`` array.
+    problem:
+        Optional pre-built static problem, bypassing the per-process
+        cache lookup when the caller already holds the data.
+
+    Returns
+    -------
+    FragmentTaskResult
+        Eigenvalues, density, energies and solve bookkeeping; includes
+        the converged wavefunctions unless the task disabled
+        ``return_coefficients``.
     """
     t0 = time.perf_counter()
     if task.screening_potential is None:
@@ -354,6 +443,7 @@ class FragmentPipelineTask:
 
     @property
     def label(self) -> str:
+        """The underlying solve task's fragment label."""
         return self.task.label
 
     def cost(self) -> float:
@@ -379,10 +469,12 @@ class FragmentPipelineResult:
 
     @property
     def label(self) -> str:
+        """The solved fragment's label."""
         return self.result.label
 
     @property
     def worker_pid(self) -> int:
+        """PID of the process that executed the fused task."""
         return self.result.worker_pid
 
     @property
@@ -410,6 +502,20 @@ def run_fragment_pipeline_task(
     The arithmetic matches the driver-side unfused path operation for
     operation, so fused and unfused runs differ only in where (and in what
     summation grouping) the global density is reduced.
+
+    Parameters
+    ----------
+    pipeline_task:
+        The fused work unit (solve task + global potential + index maps).
+    problem:
+        Optional pre-built static problem forwarded to
+        :func:`solve_fragment_task`.
+
+    Returns
+    -------
+    FragmentPipelineResult
+        The solve result plus the alpha-weighted interior density
+        contribution and the in-worker Gen_VF / Gen_dens times.
     """
     t0 = time.perf_counter()
     ix, iy, iz = pipeline_task.box_indices
@@ -439,21 +545,76 @@ class FragmentStateCache:
     The outer SCF loop fills tasks' ``initial_coefficients`` from here and
     writes converged coefficients back after every iteration, so fragments
     warm-start across outer iterations regardless of which backend (or
-    which pool worker) solved them last time.
+    which pool worker) solved them last time.  The cache is also the
+    per-fragment half of an SCF checkpoint
+    (:mod:`repro.io.checkpoint`): :meth:`state_dict` /
+    :meth:`load_state_dict` move the stored wavefunction coefficients to
+    and from disk payloads, so a resumed run warm-starts exactly where
+    the interrupted one stopped.
     """
 
     def __init__(self) -> None:
         self._coefficients: dict[str, np.ndarray] = {}
 
     def get(self, label: str) -> np.ndarray | None:
+        """Warm-start coefficients of one fragment.
+
+        Parameters
+        ----------
+        label:
+            Fragment label (``Fragment.label``).
+
+        Returns
+        -------
+        np.ndarray | None
+            The last converged wavefunction coefficients of that
+            fragment, or ``None`` when it has not been solved yet.
+        """
         return self._coefficients.get(label)
 
     def update(self, results: Sequence[FragmentTaskResult]) -> None:
+        """Store the converged coefficients of a batch of solves.
+
+        Parameters
+        ----------
+        results:
+            Executed task results; entries whose ``coefficients`` are
+            ``None`` (tasks run with ``return_coefficients=False``) are
+            skipped, keeping whatever the cache held before.
+        """
         for res in results:
             if res.coefficients is not None:
                 self._coefficients[res.label] = res.coefficients
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable snapshot of every stored wavefunction.
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            Fragment label -> coefficient array, suitable for an
+            ``.npz`` checkpoint payload.  The arrays are the cached
+            objects themselves (the SCF loop never mutates them in
+            place); callers that need isolation should copy.
+        """
+        return dict(self._coefficients)
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Replace the cache contents with a :meth:`state_dict` snapshot.
+
+        Parameters
+        ----------
+        state:
+            Fragment label -> coefficient array mapping (possibly after
+            an ``.npz`` round trip).  Previous contents are discarded,
+            so a resumed run sees exactly the interrupted run's state.
+        """
+        self._coefficients = {
+            str(label): np.asarray(coeffs) for label, coeffs in state.items()
+        }
+
     def clear(self) -> None:
+        """Drop all stored wavefunctions (fresh-start SCF runs)."""
         self._coefficients.clear()
 
     def __len__(self) -> int:
@@ -477,7 +638,20 @@ class FragmentExecutor(Protocol):
 
     n_workers: int
 
-    def run(self, tasks: Sequence[FragmentTask]) -> "ExecutionReport": ...
+    def run(self, tasks: Sequence[FragmentTask]) -> "ExecutionReport":
+        """Execute a batch of fragment solve tasks.
+
+        Parameters
+        ----------
+        tasks:
+            Picklable solve descriptions, one per fragment.
+
+        Returns
+        -------
+        ExecutionReport
+            With ``results`` (:class:`FragmentTaskResult`) in task order.
+        """
+        ...
 
 
 @runtime_checkable
@@ -486,14 +660,25 @@ class PipelineFragmentExecutor(FragmentExecutor, Protocol):
 
     All backends shipped in :mod:`repro.parallel.executor` implement this;
     :class:`repro.core.scf.LS3DFSCF` requires it when ``pipeline=True``.
-    ``run_pipeline`` takes a batch of :class:`FragmentPipelineTask` and
-    returns an :class:`ExecutionReport` whose ``results`` are
-    :class:`FragmentPipelineResult` objects in task order.
     """
 
     def run_pipeline(
         self, tasks: Sequence[FragmentPipelineTask]
-    ) -> "ExecutionReport": ...
+    ) -> "ExecutionReport":
+        """Execute a batch of fused restrict -> solve -> contribute tasks.
+
+        Parameters
+        ----------
+        tasks:
+            One :class:`FragmentPipelineTask` per fragment.
+
+        Returns
+        -------
+        ExecutionReport
+            With ``results`` (:class:`FragmentPipelineResult`) in task
+            order.
+        """
+        ...
 
 
 @dataclass
@@ -513,6 +698,7 @@ class ExecutionReport:
 
     @property
     def total_cpu_time(self) -> float:
+        """Summed in-worker task time (the batch's serial-equivalent cost)."""
         return float(sum(r.wall_time for r in self.results))
 
     @property
@@ -531,4 +717,5 @@ class ExecutionReport:
 
     @property
     def distinct_workers(self) -> int:
+        """Number of distinct worker PIDs that executed the batch."""
         return len({r.worker_pid for r in self.results})

@@ -24,12 +24,20 @@ screening-potential assembly, i.e. the paper's Gen_VF — is now timed
 under ``gen_vf`` instead of inflating the ``petot_f`` wall time, and the
 fixed passivation potential is cached across iterations instead of
 rebuilt).
+
+Long runs can be checkpointed and resumed (``checkpoint_dir=`` /
+``checkpoint_every=`` / ``resume=`` on :meth:`LS3DFSCF.run`): the
+cross-iteration state — input potential, mixer history, warm-start
+wavefunctions — is persisted via :mod:`repro.io.checkpoint`, and a
+resumed run's iterates are bit-identical to an uninterrupted run's.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Sequence
 
 import numpy as np
@@ -48,6 +56,12 @@ from repro.core.patching import (
     patch_contributions,
     patch_fragment_fields,
     restrict_to_fragment,
+)
+from repro.io.checkpoint import (
+    SCFCheckpoint,
+    has_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
 )
 from repro.pw.grid import FFTGrid
 from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotentials
@@ -80,6 +94,12 @@ class IterationTimings:
     work by ``parallel_cpu``), ``genpot_sharded`` is set, and only the
     driver residue ``genpot_driver`` (slab scatter/gather/exchange,
     scalar reductions, task overhead) stays in ``serial_time``.
+
+    ``checkpoint_io`` records the seconds spent writing this iteration's
+    checkpoint (zero when checkpointing is off).  Checkpoint I/O happens
+    on the driver while every worker idles, so it is counted in
+    ``serial_time`` — the Amdahl accounting stays honest about the cost
+    of restartability.
     """
 
     gen_vf: float = 0.0
@@ -97,10 +117,15 @@ class IterationTimings:
     genpot_driver: float = 0.0
     genpot_tasks: list[float] = field(default_factory=list)
     genpot_sharded: bool = False
+    checkpoint_io: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.gen_vf + self.petot_f + self.gen_dens + self.genpot
+        """Whole-iteration wall time (the four steps plus checkpoint I/O)."""
+        return (
+            self.gen_vf + self.petot_f + self.gen_dens + self.genpot
+            + self.checkpoint_io
+        )
 
     @property
     def petot_f_cpu(self) -> float:
@@ -129,10 +154,11 @@ class IterationTimings:
         default path; with ``genpot_shards > 1`` the per-slab Poisson/XC/
         mixing work moves to the executor (parallel bucket) and only the
         driver residue — layout conversion, scalar reductions, task
-        overhead (``genpot_driver``) — remains serial.
+        overhead (``genpot_driver``) — remains serial.  Checkpoint I/O,
+        when enabled, is driver-only work and counts here too.
         """
         genpot_serial = self.genpot_driver if self.genpot_sharded else self.genpot
-        return self.gen_vf + self.gen_dens + genpot_serial
+        return self.gen_vf + self.gen_dens + genpot_serial + self.checkpoint_io
 
     @property
     def parallel_cpu(self) -> float:
@@ -363,6 +389,26 @@ class LS3DFSCF:
     def nfragments(self) -> int:
         return len(self.fragments)
 
+    def _problem_signature(self) -> str:
+        """Checkpoint compatibility digest of this solver's SCF problem.
+
+        The division signature (structure + grids + buffer) salted with
+        the solve parameters that shape the persisted state: ``ecut`` and
+        ``n_empty`` determine the warm-start coefficient shapes, so a
+        checkpoint from a differently configured solver must fail the
+        manifest validation instead of crashing mid-solve.
+
+        Returns
+        -------
+        str
+            Hex SHA-256 digest.
+        """
+        h = hashlib.sha256()
+        h.update(self.division.signature().encode())
+        h.update(np.float64(self.ecut).tobytes())
+        h.update(np.int64(self.fragment_solver.n_empty).tobytes())
+        return h.hexdigest()
+
     # ------------------------------------------------------------------
     def _run_pipeline_iteration(
         self,
@@ -439,46 +485,126 @@ class LS3DFSCF:
         initial_potential: np.ndarray | None = None,
         callback: Callable[[int, float, float], None] | None = None,
         verbose: bool = False,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
     ) -> LS3DFResult:
         """Run the LS3DF outer loop.
+
+        Each call is a fresh SCF by default: the mixing history and the
+        warm-start wavefunction cache are cleared up front, so
+        back-to-back runs of one solver match runs of freshly built
+        solvers bit for bit.  With ``resume=True`` the cross-iteration
+        state is instead restored from ``checkpoint_dir`` and the loop
+        continues at the saved iteration, producing iterates
+        bit-identical to a never-interrupted run (see
+        :mod:`repro.io.checkpoint`).
 
         Parameters
         ----------
         max_iterations:
             Maximum number of outer (potential) iterations; the paper's
-            production runs use ~60.
+            production runs use ~60.  Counts from iteration 1 even when
+            resuming (a run resumed at iteration k performs at most
+            ``max_iterations - k`` further iterations).
         potential_tolerance:
             Convergence threshold on integral |V_out - V_in| d^3r (a.u.).
         eigensolver_tolerance, eigensolver_iterations:
             Passed to the fragment eigensolver.
         initial_potential:
             Optional starting input potential (defaults to the neutral-atom
-            guess).
+            guess).  Ignored when resuming from a checkpoint.
         callback:
             Optional ``callback(iteration, potential_difference, energy)``.
         verbose:
             Print per-iteration progress.
+        checkpoint_dir:
+            Directory to write SCF checkpoints to (input potential, mixer
+            state, warm-start wavefunctions, histories).  ``None``
+            (default) disables checkpointing.  The write time is recorded
+            as serial work in ``IterationTimings.checkpoint_io``.
+        checkpoint_every:
+            Save every this-many iterations (default 1: every iteration).
+        resume:
+            Restore state from ``checkpoint_dir`` and continue at the
+            saved iteration.  The checkpoint's grid shape, fragment-
+            division signature and mixer kind are validated — resuming a
+            different problem raises
+            :class:`repro.io.checkpoint.CheckpointMismatchError`.  When
+            the directory holds no checkpoint yet, the run simply starts
+            fresh (so a kill-and-rerun workflow can always pass
+            ``resume=True``).
+
+        Returns
+        -------
+        LS3DFResult
+            Converged (or iteration-limited) density, potential, energies
+            and per-iteration histories.  On a resumed run the histories
+            include the checkpointed iterations; ``timings`` covers only
+            the iterations this call executed.
         """
-        self.genpot.reset()
-        v_in = (
-            initial_potential.copy()
-            if initial_potential is not None
-            else self.genpot.initial_potential()
-        )
-        if v_in.shape != self.global_grid.shape:
-            raise ValueError("initial potential shape mismatch")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be positive")
+        checkpoint_path = Path(checkpoint_dir) if checkpoint_dir is not None else None
+        if resume and checkpoint_path is None:
+            raise ValueError("resume=True requires checkpoint_dir")
+        mixer = self.genpot.mixer
+        mixer_kind = getattr(mixer, "kind", type(mixer).__name__)
+        division_signature = self._problem_signature()
+
+        restored = None
+        if resume and has_checkpoint(checkpoint_path):
+            restored = load_checkpoint(
+                checkpoint_path,
+                grid_shape=self.global_grid.shape,
+                division_signature=division_signature,
+                mixer_kind=mixer_kind,
+            )
 
         conv_history: list[float] = []
         energy_history: list[float] = []
+        start_iteration = 1
+        if restored is not None:
+            load_mixer_state = getattr(mixer, "load_state_dict", None)
+            if callable(load_mixer_state):
+                load_mixer_state(restored.mixer_state)
+            elif restored.mixer_state:
+                raise ValueError(
+                    f"checkpoint carries mixer state but {type(mixer).__name__} "
+                    f"has no load_state_dict"
+                )
+            self.state_cache.load_state_dict(restored.fragment_coefficients)
+            conv_history = list(restored.convergence_history)
+            energy_history = list(restored.energy_history)
+            v_in = restored.v_in.copy()
+            start_iteration = restored.iteration + 1
+            if start_iteration > max_iterations:
+                raise ValueError(
+                    f"checkpoint is already at iteration {restored.iteration}; "
+                    f"raise max_iterations (= {max_iterations}) to resume"
+                )
+        else:
+            # A fresh SCF: drop every piece of cross-iteration state so a
+            # reused solver behaves exactly like a newly built one.
+            self.genpot.reset()
+            self.state_cache.clear()
+            v_in = (
+                initial_potential.copy()
+                if initial_potential is not None
+                else self.genpot.initial_potential()
+            )
+            if v_in.shape != self.global_grid.shape:
+                raise ValueError("initial potential shape mismatch")
+
         timings: list[IterationTimings] = []
         frag_results: list[FragmentSolveResult] = []
         converged = False
         density = np.zeros(self.global_grid.shape)
         total_energy = 0.0
         quantum_energy = 0.0
-        iteration = 0
+        iteration = start_iteration - 1
 
-        for iteration in range(1, max_iterations + 1):
+        for iteration in range(start_iteration, max_iterations + 1):
             t = IterationTimings()
 
             if self.pipeline:
@@ -567,6 +693,30 @@ class LS3DFSCF:
                 v_in = out.output_potential
                 break
             v_in = out.next_input_potential
+
+            # --- Checkpoint: persist the cross-iteration state (the next
+            # input potential, mixer history, warm-start wavefunctions,
+            # histories) so a killed run resumes at iteration+1 with
+            # bit-identical iterates.  Driver-only I/O, counted as serial.
+            if checkpoint_path is not None and iteration % checkpoint_every == 0:
+                t0 = time.perf_counter()
+                mixer_state_dict = getattr(mixer, "state_dict", None)
+                save_checkpoint(
+                    checkpoint_path,
+                    SCFCheckpoint(
+                        iteration=iteration,
+                        v_in=v_in,
+                        mixer_kind=mixer_kind,
+                        division_signature=division_signature,
+                        mixer_state=(
+                            mixer_state_dict() if callable(mixer_state_dict) else {}
+                        ),
+                        fragment_coefficients=self.state_cache.state_dict(),
+                        convergence_history=conv_history,
+                        energy_history=energy_history,
+                    ),
+                )
+                t.checkpoint_io = time.perf_counter() - t0
 
         return LS3DFResult(
             density=density,

@@ -1,8 +1,17 @@
-"""Result records, table formatting and grid-data export."""
+"""Result records, table formatting, grid-data export and checkpoints."""
 
 from repro.io.results import ResultRecord, save_records, load_records
 from repro.io.tables import format_table, table1_layout
-from repro.io.gridio import write_cube_like, write_grid_npz
+from repro.io.gridio import write_cube_like, write_grid_npz, write_npz_atomic
+from repro.io.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointMismatchError,
+    SCFCheckpoint,
+    has_checkpoint,
+    load_checkpoint,
+    read_manifest,
+    save_checkpoint,
+)
 
 __all__ = [
     "ResultRecord",
@@ -12,4 +21,12 @@ __all__ = [
     "table1_layout",
     "write_cube_like",
     "write_grid_npz",
+    "write_npz_atomic",
+    "CHECKPOINT_VERSION",
+    "CheckpointMismatchError",
+    "SCFCheckpoint",
+    "has_checkpoint",
+    "load_checkpoint",
+    "read_manifest",
+    "save_checkpoint",
 ]

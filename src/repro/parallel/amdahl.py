@@ -27,7 +27,21 @@ from scipy.optimize import least_squares
 
 
 def amdahl_speedup(n: np.ndarray | float, alpha: float) -> np.ndarray | float:
-    """Speedup of ``n`` cores for serial fraction ``alpha`` (Amdahl's law)."""
+    """Speedup of ``n`` cores for serial fraction ``alpha`` (Amdahl's law).
+
+    Parameters
+    ----------
+    n:
+        Core count(s); scalar or array.
+    alpha:
+        Serial fraction in [0, 1].
+
+    Returns
+    -------
+    np.ndarray | float
+        ``n / (1 + (n - 1) alpha)``, matching the input's shape (a float
+        for scalar input).
+    """
     n = np.asarray(n, dtype=float)
     if alpha < 0:
         raise ValueError("alpha must be non-negative")
@@ -71,6 +85,7 @@ class AmdahlFit:
         return 1.0 / self.serial_fraction
 
     def predict(self, cores: np.ndarray | float) -> np.ndarray | float:
+        """Fitted aggregate performance at the given core count(s)."""
         return amdahl_performance(cores, self.single_core_performance, self.serial_fraction)
 
 
@@ -130,11 +145,15 @@ class SerialFractionEstimate:
         alpha = serial_time / (serial_time + parallel_time).
     serial_time:
         Wall-clock seconds of the driver's unparallelised work in the
-        iteration (Gen_VF + Gen_dens driver loops and GENPOT).
+        iteration: the Gen_VF / Gen_dens driver loops on the unfused
+        path (task building and the tree-reduce once the fused pipeline
+        is on), GENPOT (or only its driver residue when the global step
+        is sharded) and checkpoint I/O when enabled.
     parallel_time:
-        Serial-equivalent seconds of the embarrassingly parallel
-        per-fragment work (summed per-fragment wall times; with the fused
-        pipeline this includes the in-worker restrict and patch steps).
+        Serial-equivalent seconds of the executor-distributable work
+        (summed per-fragment wall times; with the fused pipeline this
+        includes the in-worker restrict and patch steps, and with
+        ``genpot_shards`` the per-slab global-step task times).
     """
 
     serial_fraction: float
@@ -161,7 +180,23 @@ class SerialFractionEstimate:
 def measured_serial_fraction(
     serial_time: float, parallel_time: float
 ) -> SerialFractionEstimate:
-    """Serial fraction from measured serial and parallelisable times."""
+    """Serial fraction from measured serial and parallelisable times.
+
+    Parameters
+    ----------
+    serial_time:
+        Driver-side unparallelised seconds of one iteration
+        (``IterationTimings.serial_time``: Gen_VF/Gen_dens residues, the
+        serial GENPOT share and checkpoint I/O).
+    parallel_time:
+        Serial-equivalent seconds of the executor-distributable work
+        (``IterationTimings.parallel_cpu``).
+
+    Returns
+    -------
+    SerialFractionEstimate
+        alpha = serial / (serial + parallel) with both inputs recorded.
+    """
     if serial_time < 0 or parallel_time < 0:
         raise ValueError("times must be non-negative")
     total = serial_time + parallel_time
@@ -176,13 +211,21 @@ def measured_serial_fraction(
 def serial_fraction_history(timings: Sequence) -> list[SerialFractionEstimate]:
     """Measured serial fraction of every iteration of an LS3DF run.
 
-    ``timings`` is a sequence of objects with ``serial_time`` and
-    ``parallel_cpu`` (or legacy ``petot_f_cpu``) attributes —
-    :class:`repro.core.scf.IterationTimings` as recorded in
-    ``LS3DFResult.timings`` (duck-typed here to keep this module free of
-    core imports).  ``parallel_cpu`` includes the per-slab GENPOT task
-    time when the global step is sharded, so the measured alpha reflects
-    the work actually left on the driver.
+    Parameters
+    ----------
+    timings:
+        A sequence of objects with ``serial_time`` and ``parallel_cpu``
+        (or legacy ``petot_f_cpu``) attributes —
+        :class:`repro.core.scf.IterationTimings` as recorded in
+        ``LS3DFResult.timings`` (duck-typed here to keep this module
+        free of core imports).  ``parallel_cpu`` includes the per-slab
+        GENPOT task time when the global step is sharded, so the
+        measured alpha reflects the work actually left on the driver.
+
+    Returns
+    -------
+    list[SerialFractionEstimate]
+        One estimate per iteration, in order.
     """
     return [
         measured_serial_fraction(

@@ -29,7 +29,13 @@ from repro.parallel.machine import Machine
 
 
 class CommScheme(str, Enum):
-    """The three generations of the LS3DF communication layer."""
+    """The three generations of the LS3DF communication layer.
+
+    ``FILE_IO`` is the original version's disk-mediated exchange,
+    ``COLLECTIVE`` the MPI_Alltoallv rewrite, and ``POINT_TO_POINT`` the
+    paper's final isend/irecv implementation whose cost the production
+    runs report.
+    """
 
     FILE_IO = "file_io"
     COLLECTIVE = "collective"

@@ -59,6 +59,18 @@ def slab_bounds(n: int, nshards: int) -> list[tuple[int, int]]:
     trailing shards are then empty, which the FFT stages handle (zero
     transforms).  The decomposition depends only on ``(n, nshards)``, so
     every backend and worker count sees identical slab boundaries.
+
+    Parameters
+    ----------
+    n:
+        Number of planes along the distributed axis.
+    nshards:
+        Number of shards to split them into.
+
+    Returns
+    -------
+    list[tuple[int, int]]
+        ``nshards`` half-open ``[lo, hi)`` ranges covering ``0..n``.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -105,6 +117,7 @@ class DistributedField:
     # -- basic accessors -----------------------------------------------------
     @property
     def nshards(self) -> int:
+        """Number of slabs the field is split into."""
         return len(self.slabs)
 
     @property
@@ -193,7 +206,24 @@ class GlobalStepTask:
 
 @dataclass
 class GlobalStepResult:
-    """Result of one executed global-step task."""
+    """Result of one executed global-step task.
+
+    Attributes
+    ----------
+    label:
+        The task's label (``kind[shard/nshards]`` by default).
+    shard:
+        Shard index, so reductions can re-order results defensively.
+    data:
+        The kernel's primary output slab.
+    extra:
+        Optional secondary output (the XC kernel returns ``eps_xc``
+        here); ``None`` for the other kinds.
+    wall_time:
+        In-worker wall-clock seconds of the kernel.
+    worker_pid:
+        PID of the process that executed the task.
+    """
 
     label: str
     shard: int
@@ -285,6 +315,19 @@ def run_global_step_task(task: GlobalStepTask) -> GlobalStepResult:
     Like :func:`repro.core.fragment_task.solve_fragment_task` for
     fragments, this runs identically in the calling process and inside
     pool workers; every backend's ``run_global`` dispatches here.
+
+    Parameters
+    ----------
+    task:
+        The per-slab work unit; its ``kind`` selects the kernel
+        (``fft_planes``, ``poisson_lines``, ``xc``, ``mix_pointwise``,
+        ...), unknown kinds raise ``ValueError``.
+
+    Returns
+    -------
+    GlobalStepResult
+        The transformed slab (plus the XC kernel's ``extra``), with
+        wall time and worker PID for the timing accounting.
     """
     t0 = time.perf_counter()
     try:
@@ -315,7 +358,20 @@ class GlobalStepExecutor(Protocol):
 
     n_workers: int
 
-    def run_global(self, tasks: Sequence[GlobalStepTask]): ...
+    def run_global(self, tasks: Sequence[GlobalStepTask]):
+        """Execute a batch of per-slab global-step tasks.
+
+        Parameters
+        ----------
+        tasks:
+            One :class:`GlobalStepTask` per shard of one stage.
+
+        Returns
+        -------
+        ExecutionReport
+            With ``results`` (:class:`GlobalStepResult`) in task order.
+        """
+        ...
 
 
 # ---------------------------------------------------------------------------
@@ -399,6 +455,21 @@ def distributed_fftn(
     the two slab transposes making each axis locally complete when its
     turn comes, so the gathered result equals ``numpy.fft.fftn`` of the
     gathered input bit for bit, for any shard count.
+
+    Parameters
+    ----------
+    field:
+        A z-slab :class:`DistributedField`.
+    executor:
+        Backend the per-slab FFT stages are submitted to.
+    task_times:
+        Optional list the in-worker task times are appended to (the
+        sharded-GENPOT timing accounting).
+
+    Returns
+    -------
+    DistributedField
+        The transformed field, again as z-slabs.
     """
     return _slab_transform(
         field, executor, "fft_planes", "fft_lines", task_times=task_times
@@ -410,7 +481,11 @@ def distributed_ifftn(
     executor: GlobalStepExecutor,
     task_times: list[float] | None = None,
 ) -> DistributedField:
-    """Slab-transpose distributed inverse FFT (bit-identical to ``ifftn``)."""
+    """Slab-transpose distributed inverse FFT (bit-identical to ``ifftn``).
+
+    Parameters and return mirror :func:`distributed_fftn` (z-slab field
+    in, z-slab field out, task times appended to ``task_times``).
+    """
     return _slab_transform(
         field, executor, "ifft_planes", "ifft_lines", task_times=task_times
     )
@@ -433,6 +508,25 @@ def sharded_hartree_potential(
     Bit-identical to :func:`repro.pw.hartree.hartree_potential` of the
     same (already ion-subtracted) density: forward distributed FFT, the
     per-slab 4 pi / |G|^2 kernel, inverse distributed FFT, real part.
+
+    Parameters
+    ----------
+    net_density:
+        Net (electron minus ionic) charge density on the global grid.
+    g2:
+        The grid's ``|G|^2`` array (``FFTGrid.g2``), sliced into slabs
+        for the per-shard Poisson kernel.
+    nshards:
+        Number of z-slabs.
+    executor:
+        Backend the per-slab stages run through.
+    task_times:
+        Optional list the in-worker task times are appended to.
+
+    Returns
+    -------
+    np.ndarray
+        The gathered Hartree potential (real, global grid).
     """
     fz = DistributedField.scatter(net_density, nshards, axis=2)
     rho_g = _slab_transform(
@@ -460,6 +554,22 @@ def sharded_xc(
     Pointwise, so each shard evaluates :func:`repro.pw.xc.lda_xc` on its
     own planes; the gathered fields are bit-identical to the single-array
     evaluation.
+
+    Parameters
+    ----------
+    density:
+        Electron density on the global grid.
+    nshards:
+        Number of z-slabs.
+    executor:
+        Backend the one-task-per-slab XC stage runs through.
+    task_times:
+        Optional list the in-worker task times are appended to.
+
+    Returns
+    -------
+    tuple[np.ndarray, np.ndarray]
+        ``(v_xc, eps_xc)`` on the global grid.
     """
     fz = DistributedField.scatter(density, nshards, axis=2)
     results = _run_stage(executor, "xc", fz.slabs, task_times=task_times)
@@ -489,6 +599,25 @@ def sharded_mix(
       o(N) reduction, kept on the driver like the paper's global module).
 
     All three routes are bit-identical to ``mixer.mix(v_in, v_out)``.
+
+    Parameters
+    ----------
+    mixer:
+        A :class:`repro.pw.mixing.Mixer` (its ``sharding`` attribute
+        picks the route above).
+    v_in, v_out:
+        This iteration's input and output potentials on the global grid.
+    nshards:
+        Number of z-slabs.
+    executor:
+        Backend the per-slab stages run through.
+    task_times:
+        Optional list the in-worker task times are appended to.
+
+    Returns
+    -------
+    np.ndarray
+        The next input potential on the global grid.
     """
     mode = getattr(mixer, "sharding", "serial")
     if mode == "pointwise":

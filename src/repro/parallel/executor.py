@@ -105,10 +105,23 @@ class SerialFragmentExecutor:
         self.tasks_submitted = 0
 
     @property
-    def nworkers(self) -> int:  # legacy spelling
+    def nworkers(self) -> int:
+        """Worker count under the legacy spelling (same as ``n_workers``)."""
         return self.n_workers
 
     def run(self, tasks: Sequence[FragmentTask]) -> ExecutionReport:
+        """Run fragment solve tasks sequentially via the shared kernel.
+
+        Parameters
+        ----------
+        tasks:
+            The batch to solve.
+
+        Returns
+        -------
+        ExecutionReport
+            Results in task order, ``worker_count`` 1.
+        """
         return self._execute(tasks, solve_fragment_task)
 
     def run_pipeline(
@@ -132,7 +145,7 @@ class SerialFragmentExecutor:
         )
 
     def close(self) -> None:
-        pass
+        """No pool to release; provided for interface uniformity."""
 
     def __enter__(self) -> "SerialFragmentExecutor":
         return self
@@ -154,7 +167,8 @@ class _PoolFragmentExecutor:
         self.tasks_submitted = 0
 
     @property
-    def nworkers(self) -> int:  # legacy spelling
+    def nworkers(self) -> int:
+        """Worker count under the legacy spelling (same as ``n_workers``)."""
         return self.n_workers
 
     def _make_pool(self) -> Executor:
@@ -170,6 +184,20 @@ class _PoolFragmentExecutor:
         return self._scheduler.schedule_tasks(tasks, self.n_workers)
 
     def run(self, tasks: Sequence[FragmentTask]) -> ExecutionReport:
+        """Run fragment solve tasks through the pool (LPT, heaviest-first).
+
+        Parameters
+        ----------
+        tasks:
+            The batch to solve; batches of one (or single-worker pools)
+            take the in-process fast path.
+
+        Returns
+        -------
+        ExecutionReport
+            Results in task order, with the scheduler's predicted
+            assignment attached as ``schedule``.
+        """
         return self._execute(tasks, solve_fragment_task)
 
     def run_pipeline(

@@ -100,10 +100,12 @@ class LS3DFWorkload:
     # -- problem sizes -----------------------------------------------------
     @property
     def ncells(self) -> int:
+        """Total number of fragment-grid cells M = m1*m2*m3."""
         return int(np.prod(self.supercell_dims))
 
     @property
     def natoms(self) -> int:
+        """Total atom count of the physical system (no passivants)."""
         return self.ncells * self.atoms_per_cell
 
     @property
@@ -116,6 +118,7 @@ class LS3DFWorkload:
 
     @property
     def global_grid_points(self) -> int:
+        """Real-space points of the global FFT grid."""
         return self.ncells * self.grid_per_cell**3
 
     def planewaves_per_cell(self) -> float:

@@ -144,7 +144,19 @@ _MACHINES = {m.name.lower(): m for m in (FRANKLIN, JAGUAR, INTREPID)}
 
 
 def machine_by_name(name: str) -> Machine:
-    """Look up one of the paper's machines by (case-insensitive) name."""
+    """Look up one of the paper's machines by (case-insensitive) name.
+
+    Parameters
+    ----------
+    name:
+        ``"franklin"``, ``"jaguar"`` or ``"intrepid"`` (any case).
+
+    Returns
+    -------
+    Machine
+        The matching description; ``KeyError`` (listing the valid names)
+        for anything else.
+    """
     try:
         return _MACHINES[name.lower()]
     except KeyError as exc:

@@ -63,6 +63,7 @@ class PerformancePoint:
     breakdown: dict[str, float] = field(default_factory=dict)
 
     def as_row(self) -> dict:
+        """Table-1-style row (machine, system, cores, Tflop/s, %-peak)."""
         return {
             "machine": self.machine,
             "system": "x".join(str(d) for d in self.system_dims),
@@ -143,9 +144,11 @@ class LS3DFPerformanceModel:
         return float(schedule.makespan / rate * straggler)
 
     def gen_vf_time(self, cores: int) -> float:
+        """Modelled Gen_VF seconds: shipping the restricted potentials."""
         return self.comm.transfer_time(self.workload.gen_vf_data_bytes(), cores)
 
     def gen_dens_time(self, cores: int) -> float:
+        """Modelled Gen_dens seconds: density transfer plus the reduction."""
         # Gen_dens additionally reduces the patched density across groups.
         base = self.comm.transfer_time(self.workload.gen_dens_data_bytes(), cores)
         reduction = self.comm.allreduce_time(
@@ -154,6 +157,7 @@ class LS3DFPerformanceModel:
         return base + reduction
 
     def genpot_time(self, cores: int) -> float:
+        """Modelled GENPOT seconds: capped-core compute + allreduce + overhead."""
         active = min(cores, self.genpot_cores_cap)
         rate = active * self.machine.core_peak_gflops * 1e9 * self.genpot_efficiency
         compute = self.workload.genpot_flops() / rate

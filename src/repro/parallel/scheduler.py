@@ -56,7 +56,20 @@ class ScheduleSummary:
 
 
 class FragmentScheduler:
-    """Greedy LPT scheduler for fragments onto processor groups."""
+    """Greedy LPT scheduler for fragments onto processor groups.
+
+    Used both by the performance model (fragment size classes on the
+    paper's machines) and by the real pool backends in
+    :mod:`repro.parallel.executor`, which submit each batch
+    heaviest-first so the workers realise exactly this assignment.
+
+    Parameters
+    ----------
+    workload:
+        Optional :class:`repro.parallel.flops.LS3DFWorkload` providing
+        per-size flop counts; without one, fragment cost is the cell
+        count (the linear-scaling proxy).
+    """
 
     def __init__(self, workload: LS3DFWorkload | None = None) -> None:
         self.workload = workload
@@ -77,7 +90,20 @@ class FragmentScheduler:
     def schedule(
         self, fragments: Sequence[Fragment], ngroups: int
     ) -> ScheduleSummary:
-        """Assign fragments to ``ngroups`` groups with the LPT heuristic."""
+        """Assign fragments to ``ngroups`` groups with the LPT heuristic.
+
+        Parameters
+        ----------
+        fragments:
+            The fragments to place (costs from :meth:`fragment_costs`).
+        ngroups:
+            Number of processor groups (workers).
+
+        Returns
+        -------
+        ScheduleSummary
+            Assignments, per-group loads, imbalance and makespan.
+        """
         return self.schedule_by_costs(self.fragment_costs(fragments), ngroups)
 
     def schedule_tasks(self, tasks: Sequence, ngroups: int) -> ScheduleSummary:

@@ -16,6 +16,13 @@ arrays in, the next input potential out — plus a declared *sharding*
 capability that tells the distributed GENPOT path
 (:mod:`repro.parallel.distributed`) how to run the mix on 1D slabs of the
 global grid without changing a single bit of the result.
+
+Mixers are also the one piece of GENPOT with cross-iteration memory
+(Anderson's residual history), so the protocol includes
+``state_dict()`` / ``load_state_dict()``: the checkpoint/restart layer
+(:mod:`repro.io.checkpoint`) serialises the mixer state alongside the
+wavefunctions and the input potential, and a resumed run replays the
+exact arithmetic of an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -33,8 +40,10 @@ from repro.pw.grid import FFTGrid
 class Mixer(Protocol):
     """Protocol of every potential-mixing scheme.
 
-    ``sharding`` declares how the mix decomposes over 1D slabs of the
-    global grid (see :func:`repro.parallel.distributed.sharded_mix`):
+    ``kind`` is the mixer's registry name (what :func:`make_mixer`
+    accepts and what checkpoint manifests record); ``sharding`` declares
+    how the mix decomposes over 1D slabs of the global grid (see
+    :func:`repro.parallel.distributed.sharded_mix`):
 
     * ``"pointwise"`` — the mix is elementwise; the mixer provides
       ``mix_slab(v_in_slab, v_out_slab)`` and any slab partition of the
@@ -47,19 +56,84 @@ class Mixer(Protocol):
 
     Custom mixers only have to provide ``reset``/``mix`` (and default to
     serial sharding) to plug into
-    :class:`repro.core.genpot.GlobalPotentialSolver`.
+    :class:`repro.core.genpot.GlobalPotentialSolver`; implementing
+    ``state_dict``/``load_state_dict`` as well makes them
+    checkpointable (stateless custom mixers may omit the pair — the
+    checkpoint layer then saves an empty state).
     """
 
+    kind: str
     sharding: str
 
     def reset(self) -> None: ...
 
     def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray: ...
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable snapshot of the mixer's cross-iteration state.
+
+        The default (inherited by stateless custom mixers that subclass
+        this protocol) is an empty snapshot.
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            Flat mapping of state names to arrays (scalars as 0-d
+            arrays), suitable for an ``.npz`` payload.  Restoring the
+            snapshot with :meth:`load_state_dict` must reproduce the
+            mixer's future :meth:`mix` outputs bit for bit.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        Parameters
+        ----------
+        state:
+            The mapping returned by :meth:`state_dict` (possibly after
+            an ``.npz`` round trip).  Implementations must raise
+            ``ValueError`` when the snapshot belongs to a differently
+            configured mixer (wrong damping, wrong history length, ...),
+            so a checkpoint from a different problem fails loudly.  The
+            default accepts only the empty snapshot its default
+            :meth:`state_dict` produces.
+        """
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} does not implement load_state_dict "
+                f"but the checkpoint carries mixer state {sorted(state)}"
+            )
+
+
+def _require_matching_scalar(state: dict, key: str, expected: float, kind: str) -> None:
+    """Fail loudly when a checkpointed mixer parameter differs.
+
+    Parameters
+    ----------
+    state:
+        The snapshot being restored.
+    key:
+        Parameter name inside ``state``.
+    expected:
+        The live mixer's value of that parameter.
+    kind:
+        Mixer kind (for the error message).
+    """
+    if key not in state:
+        raise ValueError(f"{kind} mixer state is missing {key!r}")
+    found = float(state[key])
+    if found != expected:
+        raise ValueError(
+            f"checkpointed {kind} mixer has {key}={found!r} but this mixer "
+            f"was built with {key}={expected!r}"
+        )
+
 
 class LinearMixer(Mixer):
     """Simple linear (damped) potential mixing."""
 
+    kind = "linear"
     sharding = "pointwise"
 
     def __init__(self, alpha: float = 0.3) -> None:
@@ -69,6 +143,28 @@ class LinearMixer(Mixer):
 
     def reset(self) -> None:
         """No state to clear; provided for interface uniformity."""
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot (the damping parameter only — linear mixing is stateless).
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            ``{"alpha": ...}``; recorded so a resumed run can verify it
+            mixes with the same damping.
+        """
+        return {"alpha": np.float64(self.alpha)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Validate a snapshot (no mutable state to restore).
+
+        Parameters
+        ----------
+        state:
+            A :meth:`state_dict` snapshot; a differing ``alpha`` raises
+            ``ValueError``.
+        """
+        _require_matching_scalar(state, "alpha", self.alpha, self.kind)
 
     def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
         if v_in.shape != v_out.shape:
@@ -93,6 +189,7 @@ class KerkerMixer(Mixer):
     of thousands of atoms.
     """
 
+    kind = "kerker"
     sharding = "spectral"
 
     def __init__(self, grid: FFTGrid, alpha: float = 0.5, q0: float = 0.8) -> None:
@@ -129,6 +226,30 @@ class KerkerMixer(Mixer):
         """
         return self._filter
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot (parameters only — the Kerker filter has no history).
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            ``{"alpha": ..., "q0": ...}``; the filter itself is derived
+            deterministically from the grid and these parameters, so it
+            is not stored.
+        """
+        return {"alpha": np.float64(self.alpha), "q0": np.float64(self.q0)}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Validate a snapshot (no mutable state to restore).
+
+        Parameters
+        ----------
+        state:
+            A :meth:`state_dict` snapshot; a differing ``alpha`` or
+            ``q0`` raises ``ValueError``.
+        """
+        _require_matching_scalar(state, "alpha", self.alpha, self.kind)
+        _require_matching_scalar(state, "q0", self.q0, self.kind)
+
 
 @dataclass
 class _HistoryEntry:
@@ -150,6 +271,7 @@ class AndersonMixer(Mixer):
     place the paper's global module does its allreduces).
     """
 
+    kind = "anderson"
     sharding = "serial"
 
     def __init__(self, alpha: float = 0.4, history: int = 5) -> None:
@@ -164,6 +286,52 @@ class AndersonMixer(Mixer):
     def reset(self) -> None:
         """Clear the mixing history (call when the SCF problem changes)."""
         self._entries.clear()
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Snapshot: parameters plus the bounded (v_in, residual) history.
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            ``alpha`` and ``history`` (the configured bounds) plus
+            ``v_in_stack`` / ``residual_stack``, the history entries
+            stacked oldest-first along axis 0 (zero-length when the
+            history is empty).  Restoring this with
+            :meth:`load_state_dict` makes every later :meth:`mix` output
+            bit-identical to a never-interrupted mixer's.
+        """
+        if self._entries:
+            v_in_stack = np.stack([e.v_in for e in self._entries])
+            residual_stack = np.stack([e.residual for e in self._entries])
+        else:
+            v_in_stack = np.zeros((0,))
+            residual_stack = np.zeros((0,))
+        return {
+            "alpha": np.float64(self.alpha),
+            "history": np.int64(self.history),
+            "v_in_stack": v_in_stack,
+            "residual_stack": residual_stack,
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a snapshot: replace the history deque entry for entry.
+
+        Parameters
+        ----------
+        state:
+            A :meth:`state_dict` snapshot; a differing ``alpha`` or
+            ``history`` bound raises ``ValueError`` (the normal-equation
+            arithmetic depends on both).
+        """
+        _require_matching_scalar(state, "alpha", self.alpha, self.kind)
+        _require_matching_scalar(state, "history", self.history, self.kind)
+        v_in_stack = np.asarray(state["v_in_stack"])
+        residual_stack = np.asarray(state["residual_stack"])
+        if v_in_stack.shape != residual_stack.shape:
+            raise ValueError("anderson mixer state stacks disagree in shape")
+        self._entries.clear()
+        for v_in, residual in zip(v_in_stack, residual_stack):
+            self._entries.append(_HistoryEntry(v_in.copy(), residual.copy()))
 
     def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
         if v_in.shape != v_out.shape:

@@ -95,6 +95,27 @@ def test_ls3df_warm_restart_converges_quickly(tiny_ls3df):
     assert restart.iterations <= 2
 
 
+def test_repeated_runs_of_one_solver_match_fresh_solver_runs(tiny_ls3df):
+    """run() clears mixer history and warm-start cache unless resuming.
+
+    A solver reused for a second run must behave exactly like a freshly
+    built one — previously the Anderson/Kerker history and the warm-start
+    wavefunctions of the first run leaked into the second.  The module
+    fixture's result *is* the fresh-solver reference.
+    """
+    structure, ls3df, result = tiny_ls3df
+    rerun = ls3df.run(
+        max_iterations=8,
+        potential_tolerance=1e-2,
+        eigensolver_tolerance=1e-4,
+        eigensolver_iterations=40,
+    )
+    assert rerun.convergence_history == result.convergence_history
+    assert rerun.energy_history == result.energy_history
+    assert np.array_equal(rerun.density, result.density)
+    assert np.array_equal(rerun.potential, result.potential)
+
+
 def test_genpot_solver_initial_potential_and_evaluate():
     structure = cscl_binary((2, 1, 1), "Zn", "O", 6.0)
     grid = FFTGrid(structure.cell, (12, 6, 6))

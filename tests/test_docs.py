@@ -1,0 +1,42 @@
+"""Documentation health: links resolve and architecture doctests pass.
+
+The same checks run as a dedicated CI docs job; keeping them in tier-1
+as well means a broken link or a stale code snippet in
+``docs/ARCHITECTURE.md`` fails locally before it ever reaches CI.
+"""
+
+import doctest
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_docs_links import broken_links, default_paths, iter_links  # noqa: E402
+
+
+def test_readme_and_docs_links_resolve():
+    paths = default_paths(REPO_ROOT)
+    assert (REPO_ROOT / "README.md") in paths
+    assert (REPO_ROOT / "docs" / "ARCHITECTURE.md") in paths
+    assert broken_links(paths) == []
+
+
+def test_link_scanner_sees_links_and_flags_missing_targets(tmp_path):
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ok](real.md) [web](https://example.com) [gone](missing.md#sec)"
+    )
+    (tmp_path / "real.md").write_text("hi")
+    assert iter_links(doc.read_text()) == [
+        "real.md", "https://example.com", "missing.md#sec",
+    ]
+    assert broken_links([doc]) == [f"{doc}: missing.md#sec"]
+
+
+def test_architecture_doctests_pass():
+    results = doctest.testfile(
+        str(REPO_ROOT / "docs" / "ARCHITECTURE.md"), module_relative=False
+    )
+    assert results.attempted > 0
+    assert results.failed == 0

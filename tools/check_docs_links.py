@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Verify that relative markdown links in the repo's docs resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links ``[text](target)`` and checks that every non-URL target
+exists on disk relative to the file containing the link.  Anchors
+(``#section``) are stripped; ``http(s)://`` and ``mailto:`` targets are
+skipped.  Exits non-zero listing every broken link — the CI docs job
+runs this so the README and architecture docs cannot reference files
+that moved or were deleted.
+
+Usage:  python tools/check_docs_links.py [file.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline markdown links; [text](target "title") tolerated via the split.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_links(markdown: str) -> list[str]:
+    """All inline link targets in a markdown document.
+
+    Parameters
+    ----------
+    markdown:
+        The document text.
+
+    Returns
+    -------
+    list[str]
+        Link targets in order of appearance (URLs included; filtering is
+        the caller's job).
+    """
+    return _LINK.findall(markdown)
+
+
+def broken_links(paths: list[Path]) -> list[str]:
+    """Relative links that do not resolve to an existing file.
+
+    Parameters
+    ----------
+    paths:
+        Markdown files to scan.
+
+    Returns
+    -------
+    list[str]
+        Human-readable ``"<file>: <target>"`` entries, empty when all
+        links resolve.
+    """
+    problems = []
+    for path in paths:
+        for target in iter_links(path.read_text()):
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            location = target.split("#", 1)[0]
+            if not location:  # pure in-page anchor
+                continue
+            if not (path.parent / location).exists():
+                problems.append(f"{path}: {target}")
+    return problems
+
+
+def default_paths(root: Path) -> list[Path]:
+    """README plus everything under docs/ (the linked documentation set)."""
+    return [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    paths = [Path(a) for a in argv] if argv else default_paths(root)
+    missing = [p for p in paths if not p.is_file()]
+    if missing:
+        print("missing markdown files:", *missing, sep="\n  ")
+        return 1
+    problems = broken_links(paths)
+    if problems:
+        print("broken links:", *problems, sep="\n  ")
+        return 1
+    print(f"checked {len(paths)} files, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

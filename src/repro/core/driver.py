@@ -86,6 +86,14 @@ class LS3DF:
         any shard count; default 1 (serial global step).  See
         :class:`repro.core.genpot.GlobalPotentialSolver` and
         :mod:`repro.parallel.distributed`.
+    band_groups:
+        Distribute each fragment's all-band CG over this many band
+        slices pushed through ``executor`` — the paper's Np cores *per
+        fragment group*, removing the largest-fragment floor on the
+        PEtot_F wall time.  Bit-identical results for any slice count;
+        default ``None`` (one worker per fragment).  See
+        :class:`repro.core.scf.LS3DFSCF` and
+        :mod:`repro.parallel.bands`.
     kwargs:
         Remaining options forwarded to :class:`repro.core.scf.LS3DFSCF`
         (buffer_cells, mixer, eigensolver, passivation switches,
@@ -101,6 +109,7 @@ class LS3DF:
         executor: FragmentExecutor | None = None,
         pipeline: bool = False,
         genpot_shards: int | None = None,
+        band_groups: int | None = None,
         **kwargs,
     ) -> None:
         self.structure = structure
@@ -113,6 +122,7 @@ class LS3DF:
             executor=executor,
             pipeline=pipeline,
             genpot_shards=genpot_shards,
+            band_groups=band_groups,
             **kwargs,
         )
         self.ecut = float(ecut)
@@ -131,6 +141,11 @@ class LS3DF:
     def genpot_shards(self) -> int:
         """Number of z-slabs the GENPOT global steps are distributed over."""
         return self.scf.genpot_shards
+
+    @property
+    def band_groups(self) -> int | None:
+        """Band slices per fragment solve (``None`` = ungrouped PEtot_F)."""
+        return self.scf.band_groups
 
     # -- convenience accessors ------------------------------------------------
     @property

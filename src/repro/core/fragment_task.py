@@ -482,6 +482,77 @@ class FragmentPipelineResult:
         """In-worker time of the whole fused step (restrict+solve+extract)."""
         return self.gen_vf_time + self.result.wall_time + self.gen_dens_time
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Serialisable snapshot of this fragment's completed work.
+
+        The per-fragment half of a *mid-iteration* checkpoint
+        (:func:`repro.io.checkpoint.save_partial_payload`): every field a
+        resumed iteration needs to treat this fragment as already solved
+        — density, contribution, energies, solve bookkeeping and the
+        converged wavefunctions — as plain arrays suitable for an
+        ``.npz`` payload.
+
+        Returns
+        -------
+        dict[str, np.ndarray]
+            Array-valued mapping; round-trips exactly through
+            :meth:`from_state_dict`.
+        """
+        r = self.result
+        state: dict[str, np.ndarray] = {
+            "label": np.asarray(r.label),
+            "eigenvalues": np.asarray(r.eigenvalues),
+            "density": np.asarray(r.density),
+            "quantum_energy": np.float64(r.quantum_energy),
+            "band_energy": np.float64(r.band_energy),
+            "solver_iterations": np.int64(r.solver_iterations),
+            "converged": np.bool_(r.converged),
+            "solve_wall_time": np.float64(r.wall_time),
+            "worker_pid": np.int64(r.worker_pid),
+            "contribution": np.asarray(self.contribution),
+            "gen_vf_time": np.float64(self.gen_vf_time),
+            "gen_dens_time": np.float64(self.gen_dens_time),
+        }
+        if r.coefficients is not None:
+            state["coefficients"] = np.asarray(r.coefficients)
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict[str, np.ndarray]) -> "FragmentPipelineResult":
+        """Rebuild a result from a :meth:`state_dict` snapshot.
+
+        Parameters
+        ----------
+        state:
+            The saved mapping (possibly after an ``.npz`` round trip).
+
+        Returns
+        -------
+        FragmentPipelineResult
+            Bit-identical to the saved result (arrays round-trip exactly
+            through ``.npz``), so replaying it mid-iteration reproduces
+            an uninterrupted run.
+        """
+        coefficients = state.get("coefficients")
+        result = FragmentTaskResult(
+            label=str(state["label"]),
+            eigenvalues=np.asarray(state["eigenvalues"]),
+            density=np.asarray(state["density"]),
+            quantum_energy=float(state["quantum_energy"]),
+            band_energy=float(state["band_energy"]),
+            solver_iterations=int(state["solver_iterations"]),
+            converged=bool(state["converged"]),
+            wall_time=float(state["solve_wall_time"]),
+            worker_pid=int(state["worker_pid"]),
+            coefficients=None if coefficients is None else np.asarray(coefficients),
+        )
+        return cls(
+            result=result,
+            contribution=np.asarray(state["contribution"]),
+            gen_vf_time=float(state["gen_vf_time"]),
+            gen_dens_time=float(state["gen_dens_time"]),
+        )
+
 
 def run_fragment_pipeline_task(
     pipeline_task: FragmentPipelineTask, problem: TaskProblem | None = None
@@ -536,6 +607,169 @@ def run_fragment_pipeline_task(
         contribution=contribution,
         gen_vf_time=gen_vf_time,
         gen_dens_time=gen_dens_time,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Grouped (band-parallel) variants: one fragment, a whole worker group
+
+
+def solve_fragment_task_grouped(
+    task: FragmentTask,
+    executor,
+    band_slices: int,
+    problem: TaskProblem | None = None,
+):
+    """Solve one fragment with its band block distributed over a group.
+
+    The band-parallel counterpart of :func:`solve_fragment_task`: the
+    calling process acts as the *group root* — it runs the outer all-band
+    CG loop and every dense cross-band reduction — while the heavy
+    per-band work (H·psi, preconditioned residuals) is sliced into
+    :class:`repro.parallel.bands.BandBlockTask` batches and pushed
+    through ``executor.run_bands``.  Results are **bit-identical** to
+    :func:`solve_fragment_task` for any slice count and backend (the
+    property ``tests/test_band_parallel.py`` asserts), because the sliced
+    kernels are row-independent bit for bit and the root-side algebra
+    operates on full blocks of unchanged shape.
+
+    Only the ``"all_band"`` eigensolver can be grouped (the band-by-band
+    reference algorithm is inherently sequential over bands).
+
+    Parameters
+    ----------
+    task:
+        The fragment solve description; must carry a real
+        ``screening_potential`` array.
+    executor:
+        Backend implementing
+        :class:`repro.parallel.bands.BandGroupExecutor` (all backends in
+        :mod:`repro.parallel.executor` do).
+    band_slices:
+        Number of band slices — the local analogue of the paper's Np
+        cores per fragment group.
+    problem:
+        Optional pre-built static problem, bypassing the cache lookup.
+
+    Returns
+    -------
+    tuple[FragmentTaskResult, repro.parallel.bands.BandGroupStats]
+        The solve result (identical to the ungrouped kernel's) plus the
+        group's task accounting (stages, submissions, in-worker times).
+    """
+    # Imported lazily: repro.parallel.bands depends on this module, so a
+    # module-level import here would be circular.
+    from repro.parallel.bands import BandGroup
+    from repro.pw.eigensolver import all_band_cg as all_band_solver
+
+    t0 = time.perf_counter()
+    if task.screening_potential is None:
+        raise ValueError(f"task {task.label!r} has no screening potential")
+    if task.eigensolver != "all_band":
+        raise ValueError(
+            f"band groups require the all-band eigensolver; task {task.label!r} "
+            f"uses {task.eigensolver!r}"
+        )
+    if problem is None:
+        problem = get_task_problem(task)
+    hamiltonian = problem.hamiltonian
+    # The problem lock is safe to hold across the grouped solve: the band
+    # task kernel never acquires it (grouped solves own their fragment's
+    # problem for the duration; see run_band_block_task).
+    with problem.lock:
+        hamiltonian.set_effective_potential(np.asarray(task.screening_potential))
+        group = BandGroup(executor, band_slices, task, problem=problem)
+        result = all_band_solver(
+            hamiltonian,
+            problem.nbands,
+            initial=task.initial_coefficients,
+            max_iterations=task.max_iterations,
+            tolerance=task.tolerance,
+            band_groups=group,
+        )
+        density = compute_density(
+            problem.basis, result.coefficients, problem.occupations
+        )
+        saved = hamiltonian.v_screening
+        hamiltonian.v_screening = np.zeros_like(saved)
+        try:
+            expect = hamiltonian.expectation(result.coefficients)
+        finally:
+            hamiltonian.v_screening = saved
+    quantum_energy = float(np.sum(problem.occupations * expect))
+    band_energy = float(np.sum(problem.occupations * result.eigenvalues))
+    task_result = FragmentTaskResult(
+        label=task.label,
+        eigenvalues=result.eigenvalues,
+        density=density,
+        quantum_energy=quantum_energy,
+        band_energy=band_energy,
+        solver_iterations=result.iterations,
+        converged=result.converged,
+        wall_time=time.perf_counter() - t0,
+        worker_pid=os.getpid(),
+        coefficients=result.coefficients if task.return_coefficients else None,
+    )
+    return task_result, group.stats
+
+
+def run_fragment_pipeline_task_grouped(
+    pipeline_task: FragmentPipelineTask,
+    executor,
+    band_slices: int,
+    problem: TaskProblem | None = None,
+):
+    """Execute one fused fragment pipeline with a band-sliced solve.
+
+    The grouped counterpart of :func:`run_fragment_pipeline_task`: the
+    restriction and the weighted-interior extraction run on the group
+    root (the caller — with band grouping the driver orchestrates one
+    fragment at a time, so there is no per-fragment round trip to fuse
+    them into), and the solve in the middle is
+    :func:`solve_fragment_task_grouped`.  The arithmetic matches the
+    ungrouped pipeline kernel operation for operation.
+
+    Parameters
+    ----------
+    pipeline_task:
+        The fused work unit (solve task + global potential + index maps).
+    executor:
+        Backend implementing
+        :class:`repro.parallel.bands.BandGroupExecutor`.
+    band_slices:
+        Number of band slices per solve.
+    problem:
+        Optional pre-built static problem forwarded to the solve.
+
+    Returns
+    -------
+    tuple[FragmentPipelineResult, repro.parallel.bands.BandGroupStats]
+        The pipeline result (identical to the ungrouped kernel's) plus
+        the solve's band-task accounting.
+    """
+    t0 = time.perf_counter()
+    ix, iy, iz = pipeline_task.box_indices
+    v_screen = pipeline_task.global_potential[np.ix_(ix, iy, iz)]
+    if pipeline_task.passivation_potential is not None:
+        v_screen = v_screen - pipeline_task.passivation_potential
+    task = pipeline_task.task
+    task.screening_potential = v_screen
+    gen_vf_time = time.perf_counter() - t0
+    result, stats = solve_fragment_task_grouped(
+        task, executor, band_slices, problem=problem
+    )
+    t0 = time.perf_counter()
+    interior = result.density[pipeline_task.interior_slice]
+    contribution = task.weight * np.real(interior)
+    gen_dens_time = time.perf_counter() - t0
+    return (
+        FragmentPipelineResult(
+            result=result,
+            contribution=contribution,
+            gen_vf_time=gen_vf_time,
+            gen_dens_time=gen_dens_time,
+        ),
+        stats,
     )
 
 

@@ -25,11 +25,23 @@ under ``gen_vf`` instead of inflating the ``petot_f`` wall time, and the
 fixed passivation potential is cached across iterations instead of
 rebuilt).
 
+The paper's parallelism is two-level: fragments go to processor
+*groups*, and the Np cores inside a group distribute one fragment's
+all-band CG among themselves.  ``band_groups=`` reproduces the second
+level: each fragment's solve is band-sliced over the executor's workers
+(:mod:`repro.parallel.bands`), with the driver as group root — so a
+single huge fragment no longer bounds the PEtot_F wall time — while
+results stay bit-identical to the single-worker paths for any slice
+count and backend.
+
 Long runs can be checkpointed and resumed (``checkpoint_dir=`` /
 ``checkpoint_every=`` / ``resume=`` on :meth:`LS3DFSCF.run`): the
 cross-iteration state — input potential, mixer history, warm-start
 wavefunctions — is persisted via :mod:`repro.io.checkpoint`, and a
-resumed run's iterates are bit-identical to an uninterrupted run's.
+resumed run's iterates are bit-identical to an uninterrupted run's.  On
+the band-grouped path, completed fragments are additionally persisted
+*within* each iteration, so a kill mid-PEtot_F replays only the
+unfinished fragments.
 """
 
 from __future__ import annotations
@@ -47,8 +59,10 @@ from repro.core.division import SpatialDivision
 from repro.core.fragment_solver import FragmentSolveResult, FragmentSolver
 from repro.core.fragment_task import (
     FragmentExecutor,
+    FragmentPipelineResult,
     FragmentStateCache,
     PipelineFragmentExecutor,
+    run_fragment_pipeline_task_grouped,
 )
 from repro.core.fragments import Fragment, enumerate_fragments
 from repro.core.genpot import GlobalPotentialSolver
@@ -59,9 +73,12 @@ from repro.core.patching import (
 )
 from repro.io.checkpoint import (
     SCFCheckpoint,
+    clear_partial_payloads,
     has_checkpoint,
     load_checkpoint,
+    load_partial_payloads,
     save_checkpoint,
+    save_partial_payload,
 )
 from repro.pw.grid import FFTGrid
 from repro.pw.pseudopotential import PseudopotentialSet, default_pseudopotentials
@@ -95,11 +112,32 @@ class IterationTimings:
     driver residue ``genpot_driver`` (slab scatter/gather/exchange,
     scalar reductions, task overhead) stays in ``serial_time``.
 
+    With band-parallel PEtot_F (``band_groups > 1``) each fragment's
+    all-band CG is itself distributed: ``band_sliced`` is set,
+    ``band_slices`` records the slice count (the local Np per group),
+    ``band_tasks`` holds the in-worker wall time of every per-slice
+    :class:`~repro.parallel.bands.BandBlockTask` (the parallel bucket),
+    ``band_stages`` counts the sliced stages dispatched and
+    ``band_replayed`` the fragments replayed from a mid-iteration
+    partial checkpoint instead of re-solved (their per-fragment timing
+    entries are zero — this run only paid the payload read, counted in
+    ``checkpoint_io``).  The group root's dense cross-band algebra plus
+    dispatch overhead — ``band_driver`` = ``petot_f - band_cpu`` — is
+    what stays serial, so ``measured_intra_group_efficiency`` is the
+    measured counterpart of the modelled
+    :meth:`repro.parallel.groups.GroupDecomposition.intra_group_efficiency`.
+    ``band_schedule`` carries the *modelled* two-level decomposition
+    (group bins, Np, modelled efficiency) for reporting; on this
+    local-machine analogue the groups execute sequentially, so its
+    makespan/imbalance describe the model, not a measured concurrent
+    execution (see the ROADMAP's pool-partitioning item).
+
     ``checkpoint_io`` records the seconds spent writing this iteration's
-    checkpoint (zero when checkpointing is off).  Checkpoint I/O happens
-    on the driver while every worker idles, so it is counted in
-    ``serial_time`` — the Amdahl accounting stays honest about the cost
-    of restartability.
+    checkpoint — including mid-iteration partial-fragment payloads on
+    the band-grouped path (zero when checkpointing is off).  Checkpoint
+    I/O happens on the driver while every worker idles, so it is counted
+    in ``serial_time`` — the Amdahl accounting stays honest about the
+    cost of restartability.
     """
 
     gen_vf: float = 0.0
@@ -118,6 +156,12 @@ class IterationTimings:
     genpot_tasks: list[float] = field(default_factory=list)
     genpot_sharded: bool = False
     checkpoint_io: float = 0.0
+    band_sliced: bool = False
+    band_slices: int = 0
+    band_stages: int = 0
+    band_replayed: int = 0
+    band_tasks: list[float] = field(default_factory=list)
+    band_schedule: object | None = None
 
     @property
     def total(self) -> float:
@@ -145,6 +189,44 @@ class IterationTimings:
         return float(sum(self.genpot_tasks))
 
     @property
+    def band_cpu(self) -> float:
+        """Summed in-worker time of the band-sliced eigensolver tasks."""
+        return float(sum(self.band_tasks))
+
+    @property
+    def band_driver(self) -> float:
+        """Group-root residue of a band-sliced PEtot_F step.
+
+        The PEtot_F wall time minus the summed in-worker band-task time
+        (clamped at zero, since a real pool overlaps tasks): the dense
+        cross-band reductions, gathers and dispatch overhead the group
+        root keeps.  Zero when the step did not run band-sliced.
+        """
+        if not self.band_sliced:
+            return 0.0
+        return max(0.0, self.petot_f - self.band_cpu)
+
+    @property
+    def measured_intra_group_efficiency(self) -> float:
+        """Measured efficiency of the band groups: band CPU / (Np x wall).
+
+        Delegates to
+        :func:`repro.parallel.amdahl.measured_intra_group_efficiency`
+        (imported lazily — a module-level parallel import here would be
+        circular), the single home of the formula; the measured
+        counterpart of the modelled
+        :meth:`repro.parallel.groups.GroupDecomposition.intra_group_efficiency`.
+        0.0 when the step did not run band-sliced.
+        """
+        if not self.band_sliced:
+            return 0.0
+        from repro.parallel.amdahl import measured_intra_group_efficiency
+
+        return measured_intra_group_efficiency(
+            self.band_cpu, self.petot_f, self.band_slices
+        )
+
+    @property
     def serial_time(self) -> float:
         """Driver-side unparallelised time of the iteration.
 
@@ -154,21 +236,34 @@ class IterationTimings:
         default path; with ``genpot_shards > 1`` the per-slab Poisson/XC/
         mixing work moves to the executor (parallel bucket) and only the
         driver residue — layout conversion, scalar reductions, task
-        overhead (``genpot_driver``) — remains serial.  Checkpoint I/O,
-        when enabled, is driver-only work and counts here too.
+        overhead (``genpot_driver``) — remains serial.  With band-sliced
+        PEtot_F the group root's share (``band_driver``) is likewise
+        serial, while the sliced band tasks count as parallel.
+        Checkpoint I/O, when enabled, is driver-only work and counts
+        here too.
         """
         genpot_serial = self.genpot_driver if self.genpot_sharded else self.genpot
-        return self.gen_vf + self.gen_dens + genpot_serial + self.checkpoint_io
+        return (
+            self.gen_vf
+            + self.gen_dens
+            + genpot_serial
+            + self.band_driver
+            + self.checkpoint_io
+        )
 
     @property
     def parallel_cpu(self) -> float:
         """Serial-equivalent cost of the executor-distributable work.
 
-        The summed per-fragment wall times, plus the summed per-slab
-        GENPOT task times when the global step is sharded.
+        The summed per-fragment wall times (replaced by the summed
+        per-slice band-task times when PEtot_F ran band-sliced — the
+        fragment walls then contain root-side serial work), plus the
+        summed per-slab GENPOT task times when the global step is
+        sharded.
         """
         genpot_parallel = self.genpot_cpu if self.genpot_sharded else 0.0
-        return self.petot_f_cpu + genpot_parallel
+        petot_parallel = self.band_cpu if self.band_sliced else self.petot_f_cpu
+        return petot_parallel + genpot_parallel
 
     @property
     def measured_serial_fraction(self) -> float:
@@ -298,6 +393,26 @@ class LS3DFSCF:
         through this driver's ``executor`` — bit-identical results for
         any shard count and backend — and the iteration timings count the
         per-slab work as parallel (see :class:`IterationTimings`).
+    band_groups:
+        Number of band slices each fragment's all-band CG is distributed
+        over — the local analogue of the paper's Np cores *per fragment
+        group*.  The default ``None`` keeps the one-worker-per-fragment
+        paths.  When set, PEtot_F switches to the band-grouped pipeline:
+        the driver hands fragments to the executor one group at a time
+        (LPT over group-sized bins, heaviest first; see
+        :meth:`repro.parallel.scheduler.FragmentScheduler.schedule_grouped`),
+        acts as each group's root for the dense cross-band reductions,
+        and pushes the per-slice H·psi / residual work through
+        ``executor.run_bands`` as
+        :class:`~repro.parallel.bands.BandBlockTask` batches —
+        bit-identical results to the ungrouped paths for any slice count
+        and backend, which is what removes the largest-fragment floor on
+        the PEtot_F wall time.  Requires the ``"all_band"`` eigensolver
+        and an executor with ``run_bands`` (all backends in
+        :mod:`repro.parallel.executor`).  With ``checkpoint_dir=`` set
+        on :meth:`run`, completed fragments are additionally persisted
+        *within* each iteration, so a killed run replays only the
+        unfinished ones (see :mod:`repro.io.checkpoint`).
     """
 
     def __init__(
@@ -319,6 +434,7 @@ class LS3DFSCF:
         pipeline: bool = False,
         patch_chunk_size: int = 8,
         genpot_shards: int | None = None,
+        band_groups: int | None = None,
     ) -> None:
         self.structure = structure
         self.grid_dims = tuple(int(m) for m in grid_dims)
@@ -367,6 +483,22 @@ class LS3DFSCF:
         if patch_chunk_size < 1:
             raise ValueError("patch_chunk_size must be positive")
         self.patch_chunk_size = int(patch_chunk_size)
+        self.band_groups = None if band_groups is None else int(band_groups)
+        if self.band_groups is not None:
+            if self.band_groups < 1:
+                raise ValueError("band_groups must be positive")
+            if eigensolver != "all_band":
+                raise ValueError(
+                    "band_groups requires the all-band eigensolver "
+                    f"(got {eigensolver!r})"
+                )
+            if not hasattr(executor, "run_bands"):
+                raise TypeError(
+                    f"band_groups needs an executor with run_bands(); "
+                    f"{type(executor).__name__} does not provide one — use a "
+                    f"backend from repro.parallel.executor or set "
+                    f"band_groups=None"
+                )
         self.executor = executor
         self.state_cache = FragmentStateCache()
 
@@ -410,6 +542,55 @@ class LS3DFSCF:
         return h.hexdigest()
 
     # ------------------------------------------------------------------
+    def _build_pipeline_tasks(
+        self,
+        v_in: np.ndarray,
+        eigensolver_tolerance: float,
+        eigensolver_iterations: int,
+    ) -> list:
+        """One fused pipeline task per fragment (the driver's Gen_VF residue).
+
+        Shared by the pipeline and band-grouped iteration paths so their
+        task construction — and hence their bit-identity — cannot
+        diverge.
+        """
+        return [
+            self.fragment_solver.make_pipeline_task(
+                f,
+                v_in,
+                eigensolver_tolerance=eigensolver_tolerance,
+                eigensolver_iterations=eigensolver_iterations,
+                initial_coefficients=self.state_cache.get(f.label),
+            )
+            for f in self.fragments
+        ]
+
+    def _reduce_pipeline_results(
+        self, results: Sequence
+    ) -> tuple[np.ndarray, list[FragmentSolveResult]]:
+        """Consume pipeline results: cache update, conversion, tree-reduce.
+
+        The driver-side Gen_dens residue shared by the pipeline and
+        band-grouped paths: store warm starts, attach fragments to the
+        kernel results, and assemble the global density with the
+        deterministic chunked tree sum (scatter maps come from the
+        division — no index arrays ride on results).
+        """
+        self.state_cache.update([p.result for p in results])
+        frag_results = [
+            FragmentSolver.result_from_task(f, p.result)
+            for f, p in zip(self.fragments, results)
+        ]
+        density = patch_contributions(
+            self.global_grid.shape,
+            (
+                (self.division.global_indices(f, interior_only=True), p.contribution)
+                for f, p in zip(self.fragments, results)
+            ),
+            chunk_size=self.patch_chunk_size,
+        )
+        return density, frag_results
+
     def _run_pipeline_iteration(
         self,
         v_in: np.ndarray,
@@ -432,16 +613,9 @@ class LS3DFSCF:
         t.pipeline = True
         # --- Gen_VF (driver residue): build one fused task per fragment.
         t0 = time.perf_counter()
-        tasks = [
-            self.fragment_solver.make_pipeline_task(
-                f,
-                v_in,
-                eigensolver_tolerance=eigensolver_tolerance,
-                eigensolver_iterations=eigensolver_iterations,
-                initial_coefficients=self.state_cache.get(f.label),
-            )
-            for f in self.fragments
-        ]
+        tasks = self._build_pipeline_tasks(
+            v_in, eigensolver_tolerance, eigensolver_iterations
+        )
         t.gen_vf = time.perf_counter() - t0
 
         # --- PEtot_F (fused): restrict + solve + contribute per worker.
@@ -455,23 +629,146 @@ class LS3DFSCF:
 
         # --- Gen_dens (driver residue): consume the results and chunked-
         # tree-reduce the pre-weighted contributions the workers shipped
-        # back (scatter maps come from the division — no index arrays ride
-        # on results).  Cache update and conversion are serial driver work
-        # and belong in this bucket, not in the PEtot_F wall time.
+        # back.  Cache update and conversion are serial driver work and
+        # belong in this bucket, not in the PEtot_F wall time.
         t0 = time.perf_counter()
-        self.state_cache.update([p.result for p in report.results])
-        frag_results = [
-            FragmentSolver.result_from_task(f, p.result)
-            for f, p in zip(self.fragments, report.results)
-        ]
-        density = patch_contributions(
-            self.global_grid.shape,
-            (
-                (self.division.global_indices(f, interior_only=True), p.contribution)
-                for f, p in zip(self.fragments, report.results)
-            ),
-            chunk_size=self.patch_chunk_size,
+        density, frag_results = self._reduce_pipeline_results(report.results)
+        t.gen_dens = time.perf_counter() - t0
+        return density, frag_results
+
+    # ------------------------------------------------------------------
+    def _run_band_grouped_iteration(
+        self,
+        v_in: np.ndarray,
+        eigensolver_tolerance: float,
+        eigensolver_iterations: int,
+        t: IterationTimings,
+        iteration: int,
+        checkpoint_path: Path | None,
+        division_signature: str,
+        replay_partials: bool,
+    ) -> tuple[np.ndarray, list[FragmentSolveResult]]:
+        """One band-parallel Gen_VF -> PEtot_F -> Gen_dens lap.
+
+        The two-level hierarchy in action: fragments are LPT-assigned to
+        *worker groups* (bins of ``band_groups`` workers) and processed
+        heaviest-first, one grouped solve at a time — the driver is every
+        group's root, running the dense cross-band reductions, while the
+        per-slice H·psi / residual work of the current fragment spreads
+        over the executor as :class:`~repro.parallel.bands.BandBlockTask`
+        batches.  The data path around the solves is the fused pipeline's
+        (same task construction, same deterministic chunked tree-reduce),
+        so results are bit-identical to ``pipeline=True`` runs — and
+        hence to the seed path — for any slice count and backend.
+
+        With ``checkpoint_path`` set, every completed fragment's
+        :class:`~repro.core.fragment_task.FragmentPipelineResult` is
+        persisted immediately
+        (:func:`repro.io.checkpoint.save_partial_payload`); on entry —
+        only when the caller asked to ``resume`` (``replay_partials``) —
+        any partials saved for this same iteration are replayed from
+        disk instead of re-solved, so a kill mid-PEtot_F costs only the
+        unfinished fragments.  A fresh run never replays (its partials
+        were wiped up front by :meth:`run`).
+        """
+        t.pipeline = True
+        t.band_sliced = True
+        t.band_slices = self.band_groups
+        # --- Gen_VF (driver residue): build one fused task per fragment.
+        t0 = time.perf_counter()
+        tasks = self._build_pipeline_tasks(
+            v_in, eigensolver_tolerance, eigensolver_iterations
         )
+        t.gen_vf = time.perf_counter() - t0
+
+        # --- Mid-iteration replay: fragments already completed (and
+        # persisted) by a killed attempt at this very iteration.  The
+        # state fingerprint pins the replay to this iteration's actual
+        # solve inputs — a resume with a changed tolerance or a different
+        # input potential re-solves instead of splicing stale results.
+        state_fingerprint = ""
+        if checkpoint_path is not None:
+            fp = hashlib.sha256()
+            fp.update(np.ascontiguousarray(v_in).tobytes())
+            fp.update(np.float64(eigensolver_tolerance).tobytes())
+            fp.update(np.int64(eigensolver_iterations).tobytes())
+            state_fingerprint = fp.hexdigest()
+        replayed: dict[str, FragmentPipelineResult] = {}
+        if checkpoint_path is not None and replay_partials:
+            t0 = time.perf_counter()
+            replayed = {
+                label: FragmentPipelineResult.from_state_dict(arrays)
+                for label, arrays in load_partial_payloads(
+                    checkpoint_path,
+                    iteration,
+                    division_signature,
+                    state_fingerprint=state_fingerprint,
+                ).items()
+            }
+            t.checkpoint_io += time.perf_counter() - t0
+
+        # --- PEtot_F (band-grouped): LPT over group-sized bins, then one
+        # grouped solve at a time, heaviest fragment first.
+        t0 = time.perf_counter()
+        n_workers = int(getattr(self.executor, "n_workers", 1))
+        from repro.parallel.scheduler import FragmentScheduler
+
+        t.band_schedule = FragmentScheduler().schedule_grouped(
+            tasks,
+            total_cores=max(n_workers, self.band_groups),
+            cores_per_group=self.band_groups,
+        )
+        order = np.argsort([task.cost() for task in tasks], kind="stable")[::-1]
+        results: list[FragmentPipelineResult | None] = [None] * len(tasks)
+        replayed_indices: set[int] = set()
+        partial_io = 0.0
+        for idx in order:
+            fragment = self.fragments[idx]
+            saved = replayed.get(fragment.label)
+            if saved is not None:
+                results[idx] = saved
+                replayed_indices.add(idx)
+                t.band_replayed += 1
+                continue
+            pres, stats = run_fragment_pipeline_task_grouped(
+                tasks[idx], self.executor, self.band_groups
+            )
+            results[idx] = pres
+            t.band_stages += stats.stages
+            t.band_tasks.extend(stats.task_times)
+            if checkpoint_path is not None:
+                tio = time.perf_counter()
+                save_partial_payload(
+                    checkpoint_path,
+                    iteration,
+                    division_signature,
+                    fragment.label,
+                    pres.state_dict(),
+                    state_fingerprint=state_fingerprint,
+                )
+                partial_io += time.perf_counter() - tio
+        t.petot_f = time.perf_counter() - t0 - partial_io
+        t.checkpoint_io += partial_io
+        # Replayed fragments cost this run only the payload read (already in
+        # checkpoint_io), so their entries are zero — the killed attempt's
+        # wall times must not inflate this iteration's petot_f_cpu/speedup.
+        t.petot_f_fragments = [
+            0.0 if i in replayed_indices else p.wall_time
+            for i, p in enumerate(results)
+        ]
+        t.petot_f_workers = n_workers
+        t.gen_vf_fragments = [
+            0.0 if i in replayed_indices else p.gen_vf_time
+            for i, p in enumerate(results)
+        ]
+        t.gen_dens_fragments = [
+            0.0 if i in replayed_indices else p.gen_dens_time
+            for i, p in enumerate(results)
+        ]
+
+        # --- Gen_dens (driver residue): identical to the pipeline path.
+        t0 = time.perf_counter()
+        density, frag_results = self._reduce_pipeline_results(results)
         t.gen_dens = time.perf_counter() - t0
         return density, frag_results
 
@@ -522,7 +819,11 @@ class LS3DFSCF:
             Directory to write SCF checkpoints to (input potential, mixer
             state, warm-start wavefunctions, histories).  ``None``
             (default) disables checkpointing.  The write time is recorded
-            as serial work in ``IterationTimings.checkpoint_io``.
+            as serial work in ``IterationTimings.checkpoint_io``.  On the
+            band-grouped path (``band_groups=``) each completed fragment
+            is additionally persisted *within* the iteration, so a killed
+            run replays the finished fragments from disk and re-solves
+            only the rest.
         checkpoint_every:
             Save every this-many iterations (default 1: every iteration).
         resume:
@@ -585,9 +886,18 @@ class LS3DFSCF:
                 )
         else:
             # A fresh SCF: drop every piece of cross-iteration state so a
-            # reused solver behaves exactly like a newly built one.
+            # reused solver behaves exactly like a newly built one — and,
+            # when the user explicitly asked for a fresh run, wipe any
+            # mid-iteration partials a previous (killed) run left in the
+            # checkpoint directory, so a resume=False run never replays
+            # stale fragment results.  (With resume=True this branch also
+            # runs when no full checkpoint exists yet — a kill during the
+            # very first iteration — and the partials are exactly what
+            # the resumed run should replay, so they are kept.)
             self.genpot.reset()
             self.state_cache.clear()
+            if checkpoint_path is not None and not resume:
+                clear_partial_payloads(checkpoint_path)
             v_in = (
                 initial_potential.copy()
                 if initial_potential is not None
@@ -607,7 +917,18 @@ class LS3DFSCF:
         for iteration in range(start_iteration, max_iterations + 1):
             t = IterationTimings()
 
-            if self.pipeline:
+            if self.band_groups is not None:
+                density, frag_results = self._run_band_grouped_iteration(
+                    v_in,
+                    eigensolver_tolerance,
+                    eigensolver_iterations,
+                    t,
+                    iteration,
+                    checkpoint_path,
+                    division_signature,
+                    replay_partials=resume,
+                )
+            elif self.pipeline:
                 density, frag_results = self._run_pipeline_iteration(
                     v_in, eigensolver_tolerance, eigensolver_iterations, t
                 )
@@ -716,7 +1037,18 @@ class LS3DFSCF:
                         energy_history=energy_history,
                     ),
                 )
-                t.checkpoint_io = time.perf_counter() - t0
+                # The full checkpoint supersedes this (and any earlier)
+                # iteration's mid-iteration partials; partials of a later
+                # iteration would still be the only record of that work
+                # and are kept.
+                clear_partial_payloads(checkpoint_path, up_to_iteration=iteration)
+                t.checkpoint_io += time.perf_counter() - t0
+
+        # A converged iteration breaks out before the checkpoint block, so
+        # its mid-iteration partials would otherwise outlive the run; the
+        # run succeeded, nothing is left to replay.
+        if converged and checkpoint_path is not None:
+            clear_partial_payloads(checkpoint_path, up_to_iteration=iteration)
 
         return LS3DFResult(
             density=density,

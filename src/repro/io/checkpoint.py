@@ -20,6 +20,21 @@ A checkpoint is one directory holding two files:
   (:meth:`repro.core.division.SpatialDivision.signature`) and the mixer
   kind.
 
+For very large fragments a whole iteration is a long time to lose, so a
+``partial/iter-NNNNNN/`` subdirectory additionally holds
+**mid-iteration** state: one ``frag-<digest>.npz`` payload per
+*completed* fragment of the iteration currently in flight, plus a small
+per-iteration manifest (iteration counter, problem signature, and a
+fingerprint of the iteration's solve inputs).  The band-grouped PEtot_F path
+(:class:`repro.core.scf.LS3DFSCF` with ``band_groups=``), which solves
+fragments one group at a time, appends to it as fragments finish; a
+killed run replays the saved fragments from disk and re-solves only the
+unfinished ones, bit-identically.  The functions
+:func:`save_partial_payload` / :func:`load_partial_payloads` /
+:func:`clear_partial_payloads` deal in plain label -> arrays mappings so
+this module stays free of ``core`` imports; the array schema is owned by
+:meth:`repro.core.fragment_task.FragmentPipelineResult.state_dict`.
+
 The manifest is replaced atomically *after* its payload exists, so the
 pair is consistent even when the process dies mid-save (the previous
 checkpoint simply stays in effect).  On load the manifest is validated
@@ -37,6 +52,7 @@ mixers and for the serial and process backends.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -48,6 +64,7 @@ from repro.io.gridio import write_npz_atomic
 
 CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
+PARTIAL_DIRNAME = "partial"
 
 _MIXER_PREFIX = "mixer."
 _FRAGMENT_PREFIX = "frag."
@@ -315,3 +332,214 @@ def load_checkpoint(
         energy_history=[float(x) for x in arrays["energy_history"]],
         version=version,
     )
+
+
+# ---------------------------------------------------------------------------
+# Mid-iteration partial checkpoints (per-fragment payloads)
+
+
+def _partial_root(directory: str | Path) -> Path:
+    return Path(directory) / PARTIAL_DIRNAME
+
+
+def _partial_dir(directory: str | Path, iteration: int) -> Path:
+    # One subdirectory per in-flight iteration, so a resumed run that
+    # replays earlier iterations never clobbers the partials of a later
+    # one (the only record of that work until the run catches up again).
+    return _partial_root(directory) / f"iter-{int(iteration):06d}"
+
+
+def _partial_payload_name(label: str) -> str:
+    # Fragment labels contain characters unfit for filenames ("F(1,0,2)x212");
+    # the digest keys the file, the true label rides inside the payload.
+    return "frag-" + hashlib.sha256(label.encode()).hexdigest()[:16] + ".npz"
+
+
+def _read_partial_manifest(pdir: Path) -> dict | None:
+    manifest_path = pdir / MANIFEST_NAME
+    if not manifest_path.is_file():
+        return None
+    try:
+        return json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError):  # pragma: no cover - torn manifest
+        return None
+
+
+def save_partial_payload(
+    directory: str | Path,
+    iteration: int,
+    division_signature: str,
+    label: str,
+    arrays: dict[str, np.ndarray],
+    state_fingerprint: str = "",
+) -> Path:
+    """Persist one completed fragment's arrays for the in-flight iteration.
+
+    Partials live in one subdirectory per iteration
+    (``partial/iter-NNNNNN/``), so saving for iteration k never disturbs
+    partials of any other iteration.  The first save of a new
+    ``(division_signature, state_fingerprint)`` pair for an iteration
+    wipes that iteration's stale payloads and writes a fresh manifest;
+    subsequent saves append one crash-safe ``.npz`` per fragment.  A
+    kill at any moment leaves every already-saved fragment loadable.
+
+    Parameters
+    ----------
+    directory:
+        The run's checkpoint directory (the partials live in its
+        ``partial/`` subdirectory).
+    iteration:
+        The iteration currently in flight (1-based, the one whose
+        fragments are being solved — *not yet* completed).
+    division_signature:
+        The run's problem signature
+        (:meth:`repro.core.division.SpatialDivision.signature`-derived);
+        validated on load so partials never cross problems.
+    label:
+        The completed fragment's label.
+    arrays:
+        Array-valued snapshot of the completed work (canonically
+        :meth:`repro.core.fragment_task.FragmentPipelineResult.state_dict`).
+    state_fingerprint:
+        Digest of the iteration's actual solve inputs (input potential,
+        eigensolver controls).  A resumed run whose inputs differ — a
+        changed tolerance, a different initial potential — must not
+        splice these fragments into its iteration; load treats a
+        mismatch as stale (re-solve), not as an error.
+
+    Returns
+    -------
+    Path
+        The written payload path.
+    """
+    pdir = _partial_dir(directory, iteration)
+    pdir.mkdir(parents=True, exist_ok=True)
+    manifest = _read_partial_manifest(pdir)
+    if (
+        manifest is None
+        or int(manifest.get("iteration", -1)) != int(iteration)
+        or manifest.get("division_signature") != division_signature
+        or manifest.get("state_fingerprint", "") != state_fingerprint
+        or int(manifest.get("version", -1)) != CHECKPOINT_VERSION
+    ):
+        for stale in pdir.glob("frag-*.npz*"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - cleanup is best effort
+                pass
+        fresh = {
+            "format": "repro-ls3df-partial",
+            "version": CHECKPOINT_VERSION,
+            "iteration": int(iteration),
+            "division_signature": division_signature,
+            "state_fingerprint": state_fingerprint,
+        }
+        tmp = pdir / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, pdir / MANIFEST_NAME)
+    payload_path = pdir / _partial_payload_name(label)
+    write_npz_atomic(payload_path, **arrays)
+    return payload_path
+
+
+def load_partial_payloads(
+    directory: str | Path,
+    iteration: int,
+    division_signature: str,
+    state_fingerprint: str = "",
+) -> dict[str, dict[str, np.ndarray]]:
+    """Completed-fragment payloads saved for the given in-flight iteration.
+
+    Stale partials — a different format version, or a
+    ``state_fingerprint`` recording different solve inputs (changed
+    eigensolver controls, a different input potential) — are silently
+    ignored: they belong to work the resuming run must redo.  A
+    *different problem* is an error.
+
+    Parameters
+    ----------
+    directory:
+        The run's checkpoint directory.
+    iteration:
+        The iteration about to (re)run.
+    division_signature:
+        The resuming run's problem signature.
+    state_fingerprint:
+        The resuming iteration's solve-input digest; must match what the
+        partials were saved under for them to be replayed.
+
+    Returns
+    -------
+    dict[str, dict[str, np.ndarray]]
+        Fragment label -> saved arrays, empty when nothing usable exists.
+
+    Raises
+    ------
+    CheckpointMismatchError
+        The partials belong to a different problem signature.
+    """
+    pdir = _partial_dir(directory, iteration)
+    manifest = _read_partial_manifest(pdir)
+    if manifest is None or int(manifest.get("version", -1)) != CHECKPOINT_VERSION:
+        return {}
+    if int(manifest.get("iteration", -1)) != int(iteration):
+        return {}
+    if manifest.get("division_signature") != division_signature:
+        raise CheckpointMismatchError(
+            "mid-iteration partials belong to a different structure/fragment "
+            f"division (signature {str(manifest.get('division_signature'))[:12]}... "
+            f"!= {division_signature[:12]}...)"
+        )
+    if manifest.get("state_fingerprint", "") != state_fingerprint:
+        return {}
+    payloads: dict[str, dict[str, np.ndarray]] = {}
+    for path in sorted(pdir.glob("frag-*.npz")):
+        try:
+            with np.load(path) as payload:
+                arrays = {name: payload[name] for name in payload.files}
+        except (OSError, ValueError):  # pragma: no cover - torn payload
+            continue
+        if "label" not in arrays:
+            continue
+        payloads[str(arrays["label"])] = arrays
+    return payloads
+
+
+def clear_partial_payloads(
+    directory: str | Path, up_to_iteration: int | None = None
+) -> None:
+    """Remove mid-iteration partials that a full checkpoint superseded.
+
+    Parameters
+    ----------
+    directory:
+        The run's checkpoint directory.
+    up_to_iteration:
+        When given, only clear the per-iteration partial directories
+        whose iteration is ``<= up_to_iteration`` (partials of a *later*
+        iteration are still the only record of that work and are kept);
+        ``None`` clears everything.
+    """
+    root = _partial_root(directory)
+    if not root.is_dir():
+        return
+    for pdir in sorted(root.glob("iter-*")):
+        if not pdir.is_dir():
+            continue
+        manifest = _read_partial_manifest(pdir)
+        iteration = int(manifest.get("iteration", -1)) if manifest else -1
+        if up_to_iteration is not None and iteration > int(up_to_iteration):
+            continue
+        for stale in list(pdir.glob("frag-*.npz*")) + [pdir / MANIFEST_NAME]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - cleanup is best effort
+                pass
+        try:
+            pdir.rmdir()
+        except OSError:  # pragma: no cover - non-empty/racing dir
+            pass
+    try:
+        root.rmdir()
+    except OSError:  # pragma: no cover - still holds newer iterations
+        pass

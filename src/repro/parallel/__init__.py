@@ -29,11 +29,19 @@ explicit execution model:
   (scatter/gather/exchange), a slab-transpose distributed FFT that is
   bit-identical to ``numpy.fft.fftn``, and the per-slab
   :class:`~repro.parallel.distributed.GlobalStepTask` units the sharded
-  GENPOT path pushes through the same executor backends.
+  GENPOT path pushes through the same executor backends;
+* :mod:`repro.parallel.bands` — the band-parallel distributed
+  eigensolver: :class:`~repro.parallel.bands.BandSlice` partitions of a
+  fragment's band block, per-slice
+  :class:`~repro.parallel.bands.BandBlockTask` units (H·psi and
+  preconditioned-residual kernels, row-independent bit for bit) and the
+  :class:`~repro.parallel.bands.BandGroup` root handle that makes
+  ``all_band_cg`` run on a whole worker group — the paper's Np cores per
+  fragment group — with bit-identical results.
 """
 
 from repro.parallel.machine import Machine, FRANKLIN, JAGUAR, INTREPID, machine_by_name
-from repro.parallel.groups import GroupDecomposition
+from repro.parallel.groups import GroupDecomposition, choose_group_size
 from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
 from repro.parallel.flops import LS3DFWorkload, FragmentWork
 from repro.parallel.comm import CommunicationModel, CommScheme
@@ -43,9 +51,21 @@ from repro.parallel.amdahl import (
     fit_amdahl,
     AmdahlFit,
     SerialFractionEstimate,
+    intra_group_efficiency_history,
+    measured_intra_group_efficiency,
     measured_serial_fraction,
     serial_fraction_history,
     sharded_genpot_estimate,
+)
+from repro.parallel.bands import (
+    BandBlockResult,
+    BandBlockTask,
+    BandGroup,
+    BandGroupExecutor,
+    BandGroupStats,
+    BandSlice,
+    band_slices,
+    run_band_block_task,
 )
 from repro.parallel.distributed import (
     DistributedField,
@@ -82,6 +102,7 @@ __all__ = [
     "INTREPID",
     "machine_by_name",
     "GroupDecomposition",
+    "choose_group_size",
     "FragmentScheduler",
     "ScheduleSummary",
     "LS3DFWorkload",
@@ -95,9 +116,19 @@ __all__ = [
     "fit_amdahl",
     "AmdahlFit",
     "SerialFractionEstimate",
+    "intra_group_efficiency_history",
+    "measured_intra_group_efficiency",
     "measured_serial_fraction",
     "serial_fraction_history",
     "sharded_genpot_estimate",
+    "BandBlockResult",
+    "BandBlockTask",
+    "BandGroup",
+    "BandGroupExecutor",
+    "BandGroupStats",
+    "BandSlice",
+    "band_slices",
+    "run_band_block_task",
     "DistributedField",
     "GlobalStepExecutor",
     "GlobalStepResult",

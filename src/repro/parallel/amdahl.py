@@ -236,6 +236,78 @@ def serial_fraction_history(timings: Sequence) -> list[SerialFractionEstimate]:
     ]
 
 
+def measured_intra_group_efficiency(
+    task_cpu: float, wall_time: float, nslices: int
+) -> float:
+    """Measured intra-group efficiency of band-sliced fragment solves.
+
+    The paper's two-level hierarchy gives each fragment group Np cores;
+    the efficiency of one fragment solve on those Np cores is what
+    :meth:`repro.parallel.groups.GroupDecomposition.intra_group_efficiency`
+    *models*.  This is the measured counterpart:
+
+        eff = task_cpu / (nslices * wall_time)
+
+    where ``task_cpu`` is the summed in-worker time of the sliced band
+    tasks (the work the group's Np workers carried) and ``wall_time`` the
+    grouped solve's wall clock — 1.0 means the group's workers were busy
+    with sliced work the whole time; the gap is the group root's dense
+    cross-band algebra plus dispatch overhead, the local analogue of the
+    group-wide reductions that erode the paper's efficiency at Np = 80.
+
+    Parameters
+    ----------
+    task_cpu:
+        Summed in-worker band-task seconds
+        (:attr:`repro.core.scf.IterationTimings.band_cpu` or
+        :attr:`repro.parallel.bands.BandGroupStats.task_cpu`).
+    wall_time:
+        Wall-clock seconds of the grouped solve(s).
+    nslices:
+        Band-slice count (the local Np).
+
+    Returns
+    -------
+    float
+        The measured efficiency (0.0 for degenerate inputs).
+    """
+    if task_cpu < 0:
+        raise ValueError("task_cpu must be non-negative")
+    if wall_time <= 0 or nslices <= 0:
+        return 0.0
+    return task_cpu / (nslices * wall_time)
+
+
+def intra_group_efficiency_history(timings: Sequence) -> list[float]:
+    """Measured intra-group efficiency of every band-sliced iteration.
+
+    Parameters
+    ----------
+    timings:
+        A sequence of objects with ``band_cpu`` / ``petot_f`` /
+        ``band_slices`` attributes —
+        :class:`repro.core.scf.IterationTimings` as recorded in
+        ``LS3DFResult.timings`` (duck-typed, like
+        :func:`serial_fraction_history`).  Iterations that did not run
+        band-sliced contribute 0.0.
+
+    Returns
+    -------
+    list[float]
+        One measured efficiency per iteration, in order — printable next
+        to the modelled value a grouped
+        :class:`repro.parallel.scheduler.ScheduleSummary` carries.
+    """
+    return [
+        measured_intra_group_efficiency(
+            t.band_cpu, t.petot_f, t.band_slices
+        )
+        if getattr(t, "band_sliced", False)
+        else 0.0
+        for t in timings
+    ]
+
+
 def sharded_genpot_estimate(
     estimate: SerialFractionEstimate,
     genpot_time: float,

@@ -20,11 +20,15 @@ descriptions — there is no backend-specific solve path.  Every backend
 also implements ``run_pipeline`` for fused
 :class:`repro.core.fragment_task.FragmentPipelineTask` batches (restrict
 -> solve -> weighted-density contribution in one worker round trip; see
-:func:`repro.core.fragment_task.run_fragment_pipeline_task`) and
+:func:`repro.core.fragment_task.run_fragment_pipeline_task`),
 ``run_global`` for the per-slab global-step tasks of the sharded GENPOT
 path (:class:`repro.parallel.distributed.GlobalStepTask` — the paper's
 1D-slab layout of the Poisson/XC/mixing work; see
-:func:`repro.parallel.distributed.run_global_step_task`).  The pool
+:func:`repro.parallel.distributed.run_global_step_task`), and
+``run_bands`` for the per-slice band tasks of the band-parallel
+eigensolver (:class:`repro.parallel.bands.BandBlockTask` — the paper's
+Np-cores-per-group distribution of one fragment's all-band CG; see
+:func:`repro.parallel.bands.run_band_block_task`).  The pool
 backends order submissions heaviest-first, the greedy longest-processing-
 time (LPT) heuristic :mod:`repro.parallel.scheduler` uses to balance
 fragment classes whose costs differ by ~8x (1x1x1 vs 2x2x2 cells), and
@@ -56,6 +60,11 @@ from repro.core.fragment_task import (
     run_fragment_pipeline_task,
     solve_fragment_task,
 )
+from repro.parallel.bands import (
+    BandBlockTask,
+    BandGroupExecutor,
+    run_band_block_task,
+)
 from repro.parallel.distributed import (
     GlobalStepExecutor,
     GlobalStepTask,
@@ -64,6 +73,8 @@ from repro.parallel.distributed import (
 from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
 
 __all__ = [
+    "BandBlockTask",
+    "BandGroupExecutor",
     "ExecutionReport",
     "FragmentExecutor",
     "FragmentPipelineResult",
@@ -78,6 +89,7 @@ __all__ = [
     "ScheduleSummary",
     "SerialFragmentExecutor",
     "ThreadPoolFragmentExecutor",
+    "run_band_block_task",
     "run_fragment_pipeline_task",
     "run_global_step_task",
     "solve_fragment_task",
@@ -133,6 +145,10 @@ class SerialFragmentExecutor:
     def run_global(self, tasks: Sequence[GlobalStepTask]) -> ExecutionReport:
         """Run per-slab GENPOT global-step tasks, one after another."""
         return self._execute(tasks, run_global_step_task)
+
+    def run_bands(self, tasks: Sequence[BandBlockTask]) -> ExecutionReport:
+        """Run per-slice band-eigensolver tasks, one after another."""
+        return self._execute(tasks, run_band_block_task)
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
@@ -221,6 +237,16 @@ class _PoolFragmentExecutor:
         keeps sharded results bit-identical to the unsharded path.
         """
         return self._execute(tasks, run_global_step_task)
+
+    def run_bands(self, tasks: Sequence[BandBlockTask]) -> ExecutionReport:
+        """Run per-slice band-eigensolver tasks through the pool.
+
+        Each sliced stage of a grouped all-band CG sweep is exactly one
+        submission per band slice; ``results`` stay in slice order, so
+        the group root's gathers see the deterministic row ordering that
+        keeps grouped eigensolves bit-identical to single-worker ones.
+        """
+        return self._execute(tasks, run_band_block_task)
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.fragments import Fragment
 from repro.parallel.flops import LS3DFWorkload
+from repro.parallel.groups import GroupDecomposition, choose_group_size
 
 
 @dataclass
@@ -35,12 +36,26 @@ class ScheduleSummary:
         max(load) / mean(load); 1.0 is perfect balance.
     makespan:
         The maximum group load — what actually determines the PEtot_F time.
+    cores_per_group:
+        Np, the worker count inside each group, when the assignment was
+        produced by :meth:`FragmentScheduler.schedule_grouped` (each bin
+        is then a *worker group* running band-sliced solves, not a single
+        worker); ``None`` for plain per-worker schedules.
+    intra_group_efficiency:
+        The modelled parallel efficiency of one fragment solve on
+        ``cores_per_group`` cores
+        (:meth:`repro.parallel.groups.GroupDecomposition.intra_group_efficiency`),
+        recorded so reports can print it next to the *measured* value
+        (:attr:`repro.core.scf.IterationTimings.measured_intra_group_efficiency`);
+        ``None`` for plain schedules.
     """
 
     assignments: list[list[int]]
     group_loads: np.ndarray
     imbalance: float
     makespan: float
+    cores_per_group: int | None = None
+    intra_group_efficiency: float | None = None
 
     @property
     def lpt_speedup(self) -> float:
@@ -119,6 +134,72 @@ class FragmentScheduler:
         balance one PEtot_F batch over their workers.
         """
         return self.schedule_by_costs([t.cost() for t in tasks], ngroups)
+
+    def schedule_grouped(
+        self,
+        tasks: Sequence,
+        total_cores: int,
+        cores_per_group: int | None = None,
+        core_peak_gflops: float = 10.4,
+        min_efficiency: float = 0.85,
+    ) -> ScheduleSummary:
+        """Assign tasks to *worker groups* of Np cores (two-level hierarchy).
+
+        The band-parallel PEtot_F path hands every fragment a whole group
+        of ``cores_per_group`` workers (the paper's Np cores per group)
+        instead of a single worker; the bins of this schedule are
+        therefore groups, and LPT balances fragments over
+        ``total_cores // cores_per_group`` of them.  The returned summary
+        carries ``cores_per_group`` and the modelled
+        ``intra_group_efficiency`` so callers (e.g.
+        ``examples/scaling_study.py``) can print the model next to the
+        measured value.
+
+        Parameters
+        ----------
+        tasks:
+            Fragment (or pipeline) tasks with a ``cost()`` method.
+        total_cores:
+            Workers available to PEtot_F in total.
+        cores_per_group:
+            Np.  When ``None``,
+            :func:`repro.parallel.groups.choose_group_size` picks the
+            largest Np whose modelled intra-group efficiency stays above
+            ``min_efficiency`` — the paper's empirical Np = 40 sweet-spot
+            logic.
+        core_peak_gflops:
+            Per-core peak feeding the efficiency model (default: the
+            Franklin Opteron's 10.4 Gflop/s).
+        min_efficiency:
+            Efficiency floor for the automatic Np choice.
+
+        Returns
+        -------
+        ScheduleSummary
+            LPT assignment over the group-sized bins, annotated with
+            ``cores_per_group`` and the modelled intra-group efficiency.
+        """
+        if total_cores < 1:
+            raise ValueError("total_cores must be positive")
+        if cores_per_group is None:
+            cores_per_group = choose_group_size(
+                core_peak_gflops,
+                max(1, len(tasks)),
+                total_cores,
+                min_efficiency=min_efficiency,
+            )
+        if cores_per_group < 1:
+            raise ValueError("cores_per_group must be positive")
+        ngroups = max(1, total_cores // cores_per_group)
+        summary = self.schedule_tasks(tasks, ngroups)
+        decomp = GroupDecomposition(
+            total_cores=ngroups * cores_per_group, cores_per_group=cores_per_group
+        )
+        summary.cores_per_group = int(cores_per_group)
+        summary.intra_group_efficiency = decomp.intra_group_efficiency(
+            core_peak_gflops
+        )
+        return summary
 
     def schedule_by_costs(self, costs: Sequence[float], ngroups: int) -> ScheduleSummary:
         """Core LPT assignment for explicit cost values.

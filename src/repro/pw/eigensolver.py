@@ -16,6 +16,12 @@ Two solvers are provided, mirroring the paper's PEtot_F optimisation story:
 
 * :func:`exact_diagonalization` — dense reference for small fragments and
   for the test-suite's correctness checks.
+
+:func:`all_band_cg` additionally accepts ``band_groups=`` — a band-parallel
+worker group (:class:`repro.parallel.bands.BandGroup`) that distributes the
+per-band heavy work (H·psi, preconditioned residuals) over executor
+workers while the caller remains the serial group root for the dense
+cross-band reductions; results are bit-identical for any slice count.
 """
 
 from __future__ import annotations
@@ -94,6 +100,7 @@ def all_band_cg(
     max_iterations: int = 60,
     tolerance: float = 1e-6,
     rng: np.random.Generator | int | None = 0,
+    band_groups=None,
 ) -> EigensolverResult:
     """All-band preconditioned block solver (LOBPCG-style without history).
 
@@ -113,6 +120,20 @@ def all_band_cg(
         Convergence threshold on the maximum residual 2-norm.
     rng:
         Seed/generator for the random start when ``initial`` is None.
+    band_groups:
+        Optional band-parallel worker group (duck-typed; canonically a
+        :class:`repro.parallel.bands.BandGroup`).  When given, the heavy
+        per-band work — H·psi applications and the preconditioned-residual
+        line-search step — is delegated to its ``apply_h`` /
+        ``residual_precond`` methods, which slice the band block over a
+        worker group, while this function (the *group root*) keeps every
+        cross-band dense reduction: Gram/overlap matrices, subspace
+        rotations, Rayleigh-Ritz.  Results are bit-identical to the
+        default in-process path for any slice count, because the sliced
+        kernels are row-independent bit for bit
+        (:meth:`repro.pw.hamiltonian.Hamiltonian.apply_local`) and the
+        root-side algebra runs on full blocks of identical shape.  The
+        default ``None`` keeps the single-worker path.
 
     Returns
     -------
@@ -131,13 +152,22 @@ def all_band_cg(
             raise ValueError("initial coefficients have the wrong shape")
 
     precond = h.preconditioner()
+    if band_groups is None:
+        apply_h = h.apply
+
+        def residual_precond(x, hx, evals):
+            r = hx - evals[:, None] * x
+            return r * precond[None, :], np.linalg.norm(r, axis=1)
+    else:
+        apply_h = band_groups.apply_h
+        residual_precond = band_groups.residual_precond
     history: list[float] = []
     evals = np.zeros(nbands)
     converged = False
     it = 0
     p: np.ndarray | None = None  # LOBPCG-style search directions (history)
     for it in range(1, max_iterations + 1):
-        hx = h.apply(x)
+        hx = apply_h(x)
         # Rayleigh-Ritz within the current block first (keeps x H-orthogonal).
         hsub = x.conj() @ hx.T
         hsub = 0.5 * (hsub + hsub.conj().T)
@@ -146,15 +176,14 @@ def all_band_cg(
         hx = u.T @ hx
         evals = evals_sub
 
-        r = hx - evals[:, None] * x
-        rnorm = np.linalg.norm(r, axis=1)
+        # Preconditioned residuals (per-band work: sliceable), then the
+        # cross-band projection out of the current subspace (root work).
+        w, rnorm = residual_precond(x, hx, evals)
         history.append(float(rnorm.max()))
         if rnorm.max() < tolerance:
             converged = True
             break
 
-        # Preconditioned residuals, projected out of the current subspace.
-        w = r * precond[None, :]
         w -= (w @ x.conj().T) @ x
         wnorm = np.linalg.norm(w, axis=1)
         keep = wnorm > 1e-14
@@ -182,7 +211,7 @@ def all_band_cg(
         good = svals > 1e-10
         trans = svecs[:, good] * (1.0 / np.sqrt(svals[good]))[None, :]
         sub_on = trans.conj().T @ sub
-        hsub_big = sub_on.conj() @ h.apply(sub_on).T
+        hsub_big = sub_on.conj() @ apply_h(sub_on).T
         hsub_big = 0.5 * (hsub_big + hsub_big.conj().T)
         evals_big, u_big = np.linalg.eigh(hsub_big)
         x_new = u_big[:, :nbands].T @ sub_on
@@ -190,12 +219,12 @@ def all_band_cg(
         p = x_new - (x_new @ x.conj().T) @ x
         x = basis.orthonormalize(x_new)
 
-    hx = h.apply(x)
+    hx = apply_h(x)
     hsub = x.conj() @ hx.T
     hsub = 0.5 * (hsub + hsub.conj().T)
     evals, u = np.linalg.eigh(hsub)
     x = u.T @ x
-    r = h.apply(x) - evals[:, None] * x
+    r = apply_h(x) - evals[:, None] * x
     rnorm = np.linalg.norm(r, axis=1)
     return EigensolverResult(
         eigenvalues=evals,

@@ -15,7 +15,8 @@ exact-diagonalization reference solver on tiny fragments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -26,16 +27,36 @@ from repro.pw.pseudopotential import PseudopotentialSet
 
 @dataclass
 class ApplyCounter:
-    """Counts Hamiltonian applications and FFTs for performance accounting."""
+    """Counts Hamiltonian applications and FFTs for performance accounting.
+
+    Updates go through :meth:`add` under a lock: the band-sliced
+    eigensolver's thread backend applies slices of one band block on the
+    *same* Hamiltonian concurrently, and bare ``+=`` read-modify-writes
+    would lose increments.
+    """
 
     n_apply: int = 0
     n_fft: int = 0
     n_projector_flops: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def add(
+        self, n_apply: int = 0, n_fft: int = 0, n_projector_flops: float = 0.0
+    ) -> None:
+        """Atomically accumulate application/FFT/flop counts."""
+        with self._lock:
+            self.n_apply += n_apply
+            self.n_fft += n_fft
+            self.n_projector_flops += n_projector_flops
 
     def reset(self) -> None:
-        self.n_apply = 0
-        self.n_fft = 0
-        self.n_projector_flops = 0.0
+        """Zero all counters."""
+        with self._lock:
+            self.n_apply = 0
+            self.n_fft = 0
+            self.n_projector_flops = 0.0
 
 
 class Hamiltonian:
@@ -80,6 +101,7 @@ class Hamiltonian:
         self.projectors = projectors
         self.projector_strengths = projector_strengths
         self.counter = ApplyCounter()
+        self._default_preconditioner: np.ndarray | None = None
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -128,16 +150,22 @@ class Hamiltonian:
         return self.v_ionic + self.v_screening
 
     # -- application ---------------------------------------------------------
-    def apply(self, coefficients: np.ndarray) -> np.ndarray:
-        """Apply H to a block of band coefficients ``(nbands, npw)``.
+    def apply_local(self, coefficients: np.ndarray) -> np.ndarray:
+        """Kinetic + local-potential part of H on a band block ``(m, npw)``.
 
-        Accepts a single vector ``(npw,)`` as well.
+        This is the dual-space (FFT-heavy) share of :meth:`apply`, and it is
+        *row-independent bit for bit*: every output row depends only on the
+        matching input row through elementwise products and per-band FFTs
+        (numpy's batched pocketfft transforms each band identically no
+        matter how the leading axis is batched — the same verified property
+        the slab-distributed FFT of :mod:`repro.parallel.distributed` rests
+        on).  The band-sliced eigensolver
+        (:mod:`repro.parallel.bands`) therefore ships row slices of a band
+        block through this kernel on worker threads/processes and
+        concatenates the outputs, bit-identical to one full-block call.
         """
         c = np.asarray(coefficients, dtype=complex)
-        single = c.ndim == 1
-        if single:
-            c = c[None, :]
-        if c.shape[1] != self.basis.npw:
+        if c.ndim != 2 or c.shape[1] != self.basis.npw:
             raise ValueError("coefficient length must equal npw")
         nbands = c.shape[0]
 
@@ -148,15 +176,39 @@ class Hamiltonian:
         psi_r = self.basis.to_real_space(c)
         vpsi_r = psi_r * self.local_potential[None, :, :, :]
         out += self.basis.from_real_space(vpsi_r)
-        self.counter.n_fft += 2 * nbands
+        self.counter.add(n_fft=2 * nbands)
+        return out
 
-        # Nonlocal KB term: BLAS-3 projections.
+    def add_nonlocal(self, out: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+        """Add the nonlocal KB term of a band block to ``out`` (in place).
+
+        The projections are matrix-matrix products over the *whole* block;
+        BLAS results depend on the operand shapes, so the band-sliced path
+        keeps this term on the group root (full block, identical shapes to
+        the serial path) rather than slicing it.
+        """
         if self.nproj:
+            c = coefficients
             beta = self.projectors.conj() @ c.T  # (nproj, nbands)
             out += (self.projectors.T @ (self.projector_strengths[:, None] * beta)).T
-            self.counter.n_projector_flops += 16.0 * self.nproj * self.basis.npw * nbands
+            self.counter.add(
+                n_projector_flops=16.0 * self.nproj * self.basis.npw * c.shape[0]
+            )
+        return out
 
-        self.counter.n_apply += nbands
+    def apply(self, coefficients: np.ndarray) -> np.ndarray:
+        """Apply H to a block of band coefficients ``(nbands, npw)``.
+
+        Accepts a single vector ``(npw,)`` as well.  Exactly
+        :meth:`apply_local` followed by :meth:`add_nonlocal` — the split the
+        band-sliced eigensolver distributes.
+        """
+        c = np.asarray(coefficients, dtype=complex)
+        single = c.ndim == 1
+        if single:
+            c = c[None, :]
+        out = self.add_nonlocal(self.apply_local(c), c)
+        self.counter.add(n_apply=c.shape[0])
         return out[0] if single else out
 
     def expectation(self, coefficients: np.ndarray) -> np.ndarray:
@@ -197,9 +249,15 @@ class Hamiltonian:
 
         Returns a positive array ``(npw,)`` approximating (H - eps)^{-1}
         for low-lying states; larger kinetic energy components are damped.
+        The default-reference array depends only on the basis, so it is
+        computed once and cached — the band-sliced eigensolver requests
+        it in every ``residual_precond`` worker task.
         """
         t = self.basis.kinetic
         if reference_kinetic is None:
-            reference_kinetic = max(1.0, float(np.median(t)))
+            if self._default_preconditioner is None:
+                x = t / max(1.0, float(np.median(t)))
+                self._default_preconditioner = 1.0 / (1.0 + x + x * x)
+            return self._default_preconditioner
         x = t / reference_kinetic
         return 1.0 / (1.0 + x + x * x)

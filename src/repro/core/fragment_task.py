@@ -36,7 +36,8 @@ import os
 import pickle
 import threading
 import time
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -92,6 +93,13 @@ class FragmentTask:
     return_coefficients:
         Ship the converged wavefunctions back in the result (needed for
         warm starts across iterations; the default).
+    screening_key:
+        Install-channel reference (PR 6): when the screening potential
+        was installed once per worker via
+        :func:`install_potential`, tasks carry this fingerprint key
+        instead of the array and the kernels resolve it with
+        :func:`fetch_potential` — so band-slice and pipeline tasks stop
+        re-pickling the same potential on every submission.
     """
 
     label: str
@@ -111,6 +119,7 @@ class FragmentTask:
     ncells: int = 1
     cost_hint: float | None = None
     return_coefficients: bool = True
+    screening_key: str | None = None
 
     def cost(self) -> float:
         """Relative cost for load balancing (grid volume as npw proxy)."""
@@ -327,6 +336,114 @@ def clear_problem_cache() -> None:
         _PROBLEM_CACHE.clear()
 
 
+# ---------------------------------------------------------------------------
+# Install-once potential channel (PR 6)
+#
+# Band-parallel and pipeline execution used to re-pickle the same screening
+# (or global) potential into every slice of every stage of every task.  The
+# install channel breaks that: the driver installs a potential once per
+# worker under a content fingerprint, and tasks carry only the key.  Workers
+# resolve keys from a small per-process LRU; a worker that has never seen
+# the key raises :class:`PotentialNotInstalledError` and the executor
+# retries that one task with the payload attached — self-healing, no
+# barrier, and bit-identical because the exact array bytes travel either
+# way.
+
+_INSTALLED_POTENTIALS: OrderedDict[str, np.ndarray] = OrderedDict()
+_INSTALLED_MAX = 32
+_INSTALLED_LOCK = threading.Lock()
+
+
+class PotentialNotInstalledError(RuntimeError):
+    """A task referenced a potential key this worker has not installed.
+
+    Executors catch this per-future and resubmit the task with the
+    payload attached (see ``with_potential_payload``); user code should
+    never see it escape an executor.
+    """
+
+    def __init__(self, key: str) -> None:
+        super().__init__(
+            f"potential {key!r} is not installed in worker {os.getpid()}; "
+            "the executor retries with the payload attached"
+        )
+        self.key = key
+
+
+def potential_fingerprint(array: np.ndarray) -> str:
+    """Content fingerprint of a potential array (the install-channel key).
+
+    Covers dtype, shape and the exact bytes, so two bit-identical arrays
+    share a key and any numeric change produces a new one — which is what
+    makes installing once per (fragment, iteration) safe.
+    """
+    arr = np.ascontiguousarray(array)
+    h = hashlib.sha256()
+    h.update(str(arr.dtype).encode())
+    h.update(np.asarray(arr.shape, dtype=np.int64).tobytes())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def install_potential(key: str, array: np.ndarray) -> str:
+    """Store a potential in this process under ``key`` (LRU, bounded).
+
+    Returns the key for chaining.  Executors broadcast this to pool
+    workers; the serial and thread backends call it in-process.
+    """
+    arr = np.asarray(array)
+    with _INSTALLED_LOCK:
+        _INSTALLED_POTENTIALS.pop(key, None)
+        _INSTALLED_POTENTIALS[key] = arr
+        while len(_INSTALLED_POTENTIALS) > _INSTALLED_MAX:
+            _INSTALLED_POTENTIALS.popitem(last=False)
+    return key
+
+
+def fetch_potential(key: str) -> np.ndarray:
+    """Resolve an installed potential by key.
+
+    Raises
+    ------
+    PotentialNotInstalledError
+        When this process has no potential under ``key`` (the executor's
+        retry-with-payload signal).
+    """
+    with _INSTALLED_LOCK:
+        try:
+            arr = _INSTALLED_POTENTIALS[key]
+        except KeyError:
+            raise PotentialNotInstalledError(key) from None
+        _INSTALLED_POTENTIALS.move_to_end(key)
+        return arr
+
+
+def installed_potential_count() -> int:
+    """Number of potentials currently installed in this process."""
+    with _INSTALLED_LOCK:
+        return len(_INSTALLED_POTENTIALS)
+
+
+def clear_installed_potentials() -> None:
+    """Drop every installed potential (tests / memory pressure)."""
+    with _INSTALLED_LOCK:
+        _INSTALLED_POTENTIALS.clear()
+
+
+def resolve_screening_potential(task: FragmentTask) -> np.ndarray:
+    """The task's screening potential — inline array or installed key.
+
+    Raises :class:`PotentialNotInstalledError` when the task carries only
+    a key this worker has not installed, and ``ValueError`` when it
+    carries neither.
+    """
+    if task.screening_potential is not None:
+        return np.asarray(task.screening_potential)
+    if task.screening_key is not None:
+        return fetch_potential(task.screening_key)
+    raise ValueError(f"task {task.label!r} has no screening potential")
+
+
 def solve_fragment_task(
     task: FragmentTask, problem: TaskProblem | None = None
 ) -> FragmentTaskResult:
@@ -353,13 +470,12 @@ def solve_fragment_task(
         ``return_coefficients``.
     """
     t0 = time.perf_counter()
-    if task.screening_potential is None:
-        raise ValueError(f"task {task.label!r} has no screening potential")
+    v_screen = resolve_screening_potential(task)
     if problem is None:
         problem = get_task_problem(task)
     hamiltonian = problem.hamiltonian
     with problem.lock:
-        hamiltonian.set_effective_potential(np.asarray(task.screening_potential))
+        hamiltonian.set_effective_potential(v_screen)
         solver = all_band_cg if task.eigensolver == "all_band" else band_by_band_cg
         result = solver(
             hamiltonian,
@@ -423,7 +539,9 @@ class FragmentPipelineTask:
         ``None``; the worker assembles it from ``global_potential`` and
         ``passivation_potential``.
     global_potential:
-        The global input potential V_in of this iteration.
+        The global input potential V_in of this iteration, or ``None``
+        when the potential was installed once per worker and
+        ``global_potential_key`` references it instead.
     box_indices:
         Per-axis global-grid index arrays (periodically wrapped) of the
         full fragment box — the Gen_VF gather map.
@@ -433,13 +551,18 @@ class FragmentPipelineTask:
     passivation_potential:
         The fixed passivation correction Delta V_F (subtracted from the
         restricted potential), or ``None`` for unpassivated fragments.
+    global_potential_key:
+        Install-channel fingerprint of V_in (see
+        :func:`install_potential`); workers resolve it with
+        :func:`fetch_potential` when ``global_potential`` is ``None``.
     """
 
     task: FragmentTask
-    global_potential: np.ndarray
+    global_potential: np.ndarray | None
     box_indices: tuple[np.ndarray, np.ndarray, np.ndarray]
     interior_slice: tuple[slice, slice, slice]
     passivation_potential: np.ndarray | None = None
+    global_potential_key: str | None = None
 
     @property
     def label(self) -> str:
@@ -449,6 +572,38 @@ class FragmentPipelineTask:
     def cost(self) -> float:
         """Relative cost for load balancing (the solve dominates)."""
         return self.task.cost()
+
+    def with_potential_payload(
+        self, key: str, payload: np.ndarray
+    ) -> "FragmentPipelineTask":
+        """Copy of this task with the installed potential attached inline.
+
+        The executor's retry path: a worker that raised
+        :class:`PotentialNotInstalledError` for ``key`` gets the task
+        back with the actual array riding along.  Returns ``self``
+        unchanged when the key does not match (or the array is already
+        inline).
+        """
+        if self.global_potential_key != key or self.global_potential is not None:
+            return self
+        return replace(self, global_potential=payload)
+
+
+def resolve_global_potential(pipeline_task: FragmentPipelineTask) -> np.ndarray:
+    """The pipeline task's global potential — inline array or installed key.
+
+    Raises :class:`PotentialNotInstalledError` when the task carries only
+    a key this worker has not installed, and ``ValueError`` when it
+    carries neither.
+    """
+    if pipeline_task.global_potential is not None:
+        return np.asarray(pipeline_task.global_potential)
+    if pipeline_task.global_potential_key is not None:
+        return fetch_potential(pipeline_task.global_potential_key)
+    raise ValueError(
+        f"pipeline task {pipeline_task.label!r} has neither a global "
+        "potential nor an installed-potential key"
+    )
 
 
 @dataclass
@@ -590,8 +745,9 @@ def run_fragment_pipeline_task(
     """
     t0 = time.perf_counter()
     ix, iy, iz = pipeline_task.box_indices
+    global_potential = resolve_global_potential(pipeline_task)
     # Advanced indexing already yields a fresh array — no copy needed.
-    v_screen = pipeline_task.global_potential[np.ix_(ix, iy, iz)]
+    v_screen = global_potential[np.ix_(ix, iy, iz)]
     if pipeline_task.passivation_potential is not None:
         v_screen = v_screen - pipeline_task.passivation_potential
     task = pipeline_task.task
@@ -611,6 +767,72 @@ def run_fragment_pipeline_task(
 
 
 # ---------------------------------------------------------------------------
+# Stacked small-fragment tasks (PR 6)
+
+
+@dataclass
+class StackedPipelineTask:
+    """Several small fragment pipeline tasks fused into one submission.
+
+    Pool submission overhead (pickling, future bookkeeping, scheduler
+    round trips) is per-submission, so many tiny fragments — single-cell
+    boxes at divided-surface corners — pay it over and over while the big
+    fragments still bound the wall clock.  Stacking bins the small tasks
+    (see :func:`repro.parallel.scheduler.pack_stacks`) so each bin rides
+    one pool submission and runs its members sequentially in the worker.
+    Logical-task accounting (``tasks_submitted``) is unchanged; only the
+    physical ``pool_submissions`` count drops.
+    """
+
+    tasks: list[FragmentPipelineTask]
+
+    @property
+    def label(self) -> str:
+        """Synthetic label naming the stack's members."""
+        inner = ",".join(t.label for t in self.tasks)
+        return f"stack[{inner}]"
+
+    def cost(self) -> float:
+        """Relative cost for load balancing: the members' summed cost."""
+        return float(sum(t.cost() for t in self.tasks))
+
+    def with_potential_payload(
+        self, key: str, payload: np.ndarray
+    ) -> "StackedPipelineTask":
+        """Copy with the installed potential attached to matching members."""
+        return StackedPipelineTask(
+            tasks=[t.with_potential_payload(key, payload) for t in self.tasks]
+        )
+
+
+@dataclass
+class StackedPipelineResult:
+    """Results of one stacked submission, in the stack's member order.
+
+    Executors flatten these back into per-fragment
+    :class:`FragmentPipelineResult` entries at gather time, so reports
+    look exactly like unstacked runs.
+    """
+
+    results: list[FragmentPipelineResult]
+
+
+def run_stacked_pipeline_task(stacked: StackedPipelineTask) -> StackedPipelineResult:
+    """Execute a stack's members sequentially in this worker.
+
+    Each member runs through the ordinary
+    :func:`run_fragment_pipeline_task` kernel, so the arithmetic — and
+    therefore every result array — is bit-identical to unstacked
+    execution.  A missing installed potential propagates as
+    :class:`PotentialNotInstalledError` for the whole stack; the executor
+    retries the stack with the payload attached.
+    """
+    return StackedPipelineResult(
+        results=[run_fragment_pipeline_task(t) for t in stacked.tasks]
+    )
+
+
+# ---------------------------------------------------------------------------
 # Grouped (band-parallel) variants: one fragment, a whole worker group
 
 
@@ -619,6 +841,8 @@ def solve_fragment_task_grouped(
     executor,
     band_slices: int,
     problem: TaskProblem | None = None,
+    install_potentials: bool = True,
+    sliced_nonlocal: bool = True,
 ):
     """Solve one fragment with its band block distributed over a group.
 
@@ -650,6 +874,14 @@ def solve_fragment_task_grouped(
         cores per fragment group.
     problem:
         Optional pre-built static problem, bypassing the cache lookup.
+    install_potentials:
+        Install the screening potential once per worker and reference it
+        by key from every band slice (PR 6); ``False`` ships the array
+        in every task as before.  Bit-identical either way.
+    sliced_nonlocal:
+        Apply the Kleinman-Bylander term inside band slices via the
+        blocked fixed-shape kernel (PR 6); ``False`` keeps it on the
+        group root.  Bit-identical either way.
 
     Returns
     -------
@@ -663,8 +895,7 @@ def solve_fragment_task_grouped(
     from repro.pw.eigensolver import all_band_cg as all_band_solver
 
     t0 = time.perf_counter()
-    if task.screening_potential is None:
-        raise ValueError(f"task {task.label!r} has no screening potential")
+    v_screen = resolve_screening_potential(task)
     if task.eigensolver != "all_band":
         raise ValueError(
             f"band groups require the all-band eigensolver; task {task.label!r} "
@@ -677,8 +908,15 @@ def solve_fragment_task_grouped(
     # task kernel never acquires it (grouped solves own their fragment's
     # problem for the duration; see run_band_block_task).
     with problem.lock:
-        hamiltonian.set_effective_potential(np.asarray(task.screening_potential))
-        group = BandGroup(executor, band_slices, task, problem=problem)
+        hamiltonian.set_effective_potential(v_screen)
+        group = BandGroup(
+            executor,
+            band_slices,
+            task,
+            problem=problem,
+            install=install_potentials,
+            sliced_nonlocal=sliced_nonlocal,
+        )
         result = all_band_solver(
             hamiltonian,
             problem.nbands,
@@ -718,6 +956,8 @@ def run_fragment_pipeline_task_grouped(
     executor,
     band_slices: int,
     problem: TaskProblem | None = None,
+    install_potentials: bool = True,
+    sliced_nonlocal: bool = True,
 ):
     """Execute one fused fragment pipeline with a band-sliced solve.
 
@@ -740,6 +980,9 @@ def run_fragment_pipeline_task_grouped(
         Number of band slices per solve.
     problem:
         Optional pre-built static problem forwarded to the solve.
+    install_potentials, sliced_nonlocal:
+        Forwarded to :func:`solve_fragment_task_grouped` (PR 6 knobs;
+        bit-identical on or off).
 
     Returns
     -------
@@ -749,14 +992,20 @@ def run_fragment_pipeline_task_grouped(
     """
     t0 = time.perf_counter()
     ix, iy, iz = pipeline_task.box_indices
-    v_screen = pipeline_task.global_potential[np.ix_(ix, iy, iz)]
+    global_potential = resolve_global_potential(pipeline_task)
+    v_screen = global_potential[np.ix_(ix, iy, iz)]
     if pipeline_task.passivation_potential is not None:
         v_screen = v_screen - pipeline_task.passivation_potential
     task = pipeline_task.task
     task.screening_potential = v_screen
     gen_vf_time = time.perf_counter() - t0
     result, stats = solve_fragment_task_grouped(
-        task, executor, band_slices, problem=problem
+        task,
+        executor,
+        band_slices,
+        problem=problem,
+        install_potentials=install_potentials,
+        sliced_nonlocal=sliced_nonlocal,
     )
     t0 = time.perf_counter()
     interior = result.density[pipeline_task.interior_slice]

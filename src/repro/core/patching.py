@@ -61,9 +61,29 @@ FragmentContribution = tuple[
 ]
 
 
+# Accumulator-allocation accounting of the Gen_dens reduction (PR 6): the
+# chunked tree-reduce used to allocate one fresh global-grid array per
+# chunk *and* one per merge (~2x chunks); with buffer recycling it
+# allocates O(log #chunks).  Approximate counters (no lock) — used by the
+# regression test and the kernel-pack benchmark, not for control flow.
+_REDUCE_STATS = {"allocations": 0, "reused": 0}
+
+
+def reduce_stats() -> dict[str, int]:
+    """Snapshot of the Gen_dens accumulator allocation/reuse counters."""
+    return dict(_REDUCE_STATS)
+
+
+def reset_reduce_stats() -> None:
+    """Zero the accumulator counters (benchmarks / tests)."""
+    for k in _REDUCE_STATS:
+        _REDUCE_STATS[k] = 0
+
+
 def _accumulate_chunk(
     shape: tuple[int, int, int],
     contributions: Iterable[FragmentContribution],
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Scatter-add weighted interiors into one partial field.
 
@@ -71,14 +91,27 @@ def _accumulate_chunk(
     axis, so the per-axis index arrays are duplicate-free and the sliced
     in-place add is exact (one addition per addressed element — the same
     arithmetic as ``np.add.at``, without its slow unbuffered path).
+
+    ``out`` may be a recycled accumulator of the right shape; it is
+    zero-filled first, which is byte-identical to a fresh ``np.zeros``.
     """
-    partial = np.zeros(shape, dtype=float)
+    if out is None:
+        partial = np.zeros(shape, dtype=float)
+        _REDUCE_STATS["allocations"] += 1
+    else:
+        partial = out
+        partial.fill(0.0)
+        _REDUCE_STATS["reused"] += 1
     for (ix, iy, iz), interior in contributions:
         partial[np.ix_(ix, iy, iz)] += interior
     return partial
 
 
-def tree_reduce_fields(partials: Iterable[np.ndarray]) -> np.ndarray:
+def tree_reduce_fields(
+    partials: Iterable[np.ndarray],
+    in_place: bool = False,
+    release=None,
+) -> np.ndarray:
     """Pairwise (binary-tree) sum of partial global fields.
 
     The reduction order is fixed by the input order alone — never by a
@@ -90,6 +123,21 @@ def tree_reduce_fields(partials: Iterable[np.ndarray]) -> np.ndarray:
     merge (equal-height subtrees combine as soon as both exist), so at
     most O(log N) partial fields are alive at once even when the input is
     a generator producing N of them.
+
+    Parameters
+    ----------
+    partials:
+        The partial fields, earliest first.
+    in_place:
+        Merge subtrees by mutating the earlier operand (``left += node``)
+        instead of allocating a fresh array per merge.  Only valid when
+        the caller owns every input array; elementwise float addition is
+        commutative and the in-place form computes the identical sums, so
+        the result is byte-identical to the allocating path.
+    release:
+        Optional callback receiving each input array the reduction has
+        fully consumed (``in_place`` only) — the recycling hook
+        :func:`patch_contributions` uses to refill its accumulator pool.
     """
     # Stack of (subtree height, subtree sum); heights strictly decrease
     # from bottom to top, exactly the binary representation of the count
@@ -100,14 +148,28 @@ def tree_reduce_fields(partials: Iterable[np.ndarray]) -> np.ndarray:
         height = 0
         while stack and stack[-1][0] == height:
             _, left = stack.pop()
-            node = left + node  # left operand is the earlier subtree
+            if in_place:
+                left += node  # left operand is the earlier subtree
+                if release is not None:
+                    release(node)
+                node = left
+            else:
+                node = left + node
             height += 1
         stack.append((height, node))
     if not stack:
         raise ValueError("tree reduce needs at least one partial field")
     total: np.ndarray | None = None
     for _, node in reversed(stack):  # latest (smallest) subtree first
-        total = node if total is None else node + total
+        if total is None:
+            total = node
+        elif in_place:
+            node += total  # same bits as node + total (float add commutes)
+            if release is not None:
+                release(total)
+            total = node
+        else:
+            total = node + total
     return total
 
 
@@ -141,17 +203,26 @@ def patch_contributions(
     if not first_chunk:
         return np.zeros(shape, dtype=float)
 
+    # Accumulator pool (PR 6): every array the tree reduce finishes with
+    # comes back here and seeds the next chunk's accumulation, so the
+    # whole reduction allocates O(log #chunks) global-grid arrays instead
+    # of ~2x #chunks.  The returned total is one of this call's own
+    # arrays, so handing it to the caller is safe.
+    pool: list[np.ndarray] = []
+
     def partials():
         # Lazy: together with the streaming tree reduce, only
         # O(log #chunks) partial global fields are alive at once.
-        yield _accumulate_chunk(shape, first_chunk)
+        yield _accumulate_chunk(shape, first_chunk, out=pool.pop() if pool else None)
         while True:
             chunk = list(islice(iterator, chunk_size))
             if not chunk:
                 return
-            yield _accumulate_chunk(shape, chunk)
+            yield _accumulate_chunk(
+                shape, chunk, out=pool.pop() if pool else None
+            )
 
-    return tree_reduce_fields(partials())
+    return tree_reduce_fields(partials(), in_place=True, release=pool.append)
 
 
 def patch_fragment_fields(

@@ -62,6 +62,7 @@ from repro.core.fragment_task import (
     FragmentPipelineResult,
     FragmentStateCache,
     PipelineFragmentExecutor,
+    potential_fingerprint,
     run_fragment_pipeline_task_grouped,
 )
 from repro.core.fragments import Fragment, enumerate_fragments
@@ -413,6 +414,18 @@ class LS3DFSCF:
         on :meth:`run`, completed fragments are additionally persisted
         *within* each iteration, so a killed run replays only the
         unfinished ones (see :mod:`repro.io.checkpoint`).
+    install_potentials:
+        Install each iteration's global input potential once per worker
+        through the executor's install channel and ship pipeline (and
+        band-slice) tasks with a fingerprint key instead of the array
+        (PR 6).  Bit-identical on or off; silently falls back to inline
+        shipping when the executor lacks ``install_state``.  Only
+        affects the pipeline / band-grouped paths.
+    sliced_nonlocal:
+        Run the Kleinman-Bylander term inside band slices via the
+        blocked fixed-shape projector kernel instead of on each group
+        root (PR 6).  Bit-identical on or off; only affects the
+        band-grouped path.
     """
 
     def __init__(
@@ -435,6 +448,8 @@ class LS3DFSCF:
         patch_chunk_size: int = 8,
         genpot_shards: int | None = None,
         band_groups: int | None = None,
+        install_potentials: bool = True,
+        sliced_nonlocal: bool = True,
     ) -> None:
         self.structure = structure
         self.grid_dims = tuple(int(m) for m in grid_dims)
@@ -500,6 +515,8 @@ class LS3DFSCF:
                     f"band_groups=None"
                 )
         self.executor = executor
+        self.install_potentials = bool(install_potentials)
+        self.sliced_nonlocal = bool(sliced_nonlocal)
         self.state_cache = FragmentStateCache()
 
     # ------------------------------------------------------------------
@@ -552,8 +569,16 @@ class LS3DFSCF:
 
         Shared by the pipeline and band-grouped iteration paths so their
         task construction — and hence their bit-identity — cannot
-        diverge.
+        diverge.  With ``install_potentials`` (and an executor exposing
+        ``install_state``) the iteration's V_in is installed once per
+        worker and the tasks carry only its fingerprint key — the
+        restriction then reads the exact installed bytes, so results are
+        bit-identical to inline shipping.
         """
+        potential_key = None
+        if self.install_potentials and hasattr(self.executor, "install_state"):
+            potential_key = potential_fingerprint(v_in)
+            self.executor.install_state(potential_key, v_in)
         return [
             self.fragment_solver.make_pipeline_task(
                 f,
@@ -561,6 +586,7 @@ class LS3DFSCF:
                 eigensolver_tolerance=eigensolver_tolerance,
                 eigensolver_iterations=eigensolver_iterations,
                 initial_coefficients=self.state_cache.get(f.label),
+                global_potential_key=potential_key,
             )
             for f in self.fragments
         ]
@@ -731,7 +757,11 @@ class LS3DFSCF:
                 t.band_replayed += 1
                 continue
             pres, stats = run_fragment_pipeline_task_grouped(
-                tasks[idx], self.executor, self.band_groups
+                tasks[idx],
+                self.executor,
+                self.band_groups,
+                install_potentials=self.install_potentials,
+                sliced_nonlocal=self.sliced_nonlocal,
             )
             results[idx] = pres
             t.band_stages += stats.stages

@@ -18,28 +18,34 @@ families:
   :func:`repro.parallel.distributed.slab_bounds`).
 * :class:`BandBlockTask` / :func:`run_band_block_task` — picklable
   per-slice units of eigensolver work, executed through ``run_bands`` on
-  every backend in :mod:`repro.parallel.executor`.  Two kinds exist:
+  every backend in :mod:`repro.parallel.executor`.  Three kinds exist:
   ``"apply_local"`` (the FFT-heavy kinetic + local-potential share of
-  H·psi) and ``"residual_precond"`` (the preconditioned-residual step of
-  one CG sweep).  Both kernels are **row-independent bit for bit** —
-  elementwise products, per-band batched FFTs and per-row norms — so a
-  sliced run concatenates to exactly the full-block result.
+  H·psi), ``"apply_h"`` (the full H·psi share including the
+  Kleinman-Bylander term via the blocked fixed-shape kernel) and
+  ``"residual_precond"`` (the preconditioned-residual step of one CG
+  sweep).  All kernels are **row-independent bit for bit** — elementwise
+  products, per-band batched FFTs, per-row norms, and globally-aligned
+  fixed-shape projector blocks — so a sliced run concatenates to exactly
+  the full-block result.
 * :class:`BandGroup` — the driver-side handle one grouped eigensolve
   holds: it scatters the band block into slices, pushes
   :class:`BandBlockTask` batches through the executor, gathers the rows
-  back, and performs the *root* share (the nonlocal projector term, whose
-  BLAS shape must match the serial path exactly) on the full block.
-  :func:`repro.pw.eigensolver.all_band_cg` accepts one via
-  ``band_groups=``.
+  back, and performs the root share (the dense cross-band algebra) on
+  the full block.  :func:`repro.pw.eigensolver.all_band_cg` accepts one
+  via ``band_groups=``.
 
-Why the split is drawn where it is: BLAS matrix products are **not**
-row-slice stable (a 1-row GEMM may dispatch to GEMV with a different
-accumulation order), so every matmul whose result must match the serial
-path bit for bit — the nonlocal KB term, Gram/overlap matrices, subspace
-rotations — stays on the group root operating on full blocks of
-identical shape.  The FFT + pointwise work, which *is* slice-stable (the
-same verified pocketfft batching property the slab-distributed FFT of
-:mod:`repro.parallel.distributed` rests on), is what the slices carry.
+Why the split is drawn where it is: a *variable-shape* BLAS product is
+not row-slice stable (a 1-row GEMM may dispatch to GEMV with a different
+accumulation order), so the dense cross-band algebra — Gram/overlap
+matrices, subspace rotations — stays on the group root operating on full
+blocks of identical shape.  Per-band work rides in the slices: the FFT +
+pointwise kernels are slice-stable by the verified pocketfft batching
+property (the same one the slab-distributed FFT of
+:mod:`repro.parallel.distributed` rests on), and since PR 6 the nonlocal
+KB term is too — :meth:`repro.pw.hamiltonian.Hamiltonian.add_nonlocal`
+runs as fixed-shape GEMMs over globally-aligned band blocks whose
+outputs are content-independent per column, so any slicing reproduces
+the full-block bits (``sliced_nonlocal=False`` keeps it on the root).
 That division happens to mirror the paper's: the q-space data
 parallelism scales with Np, the group-wide reductions are what erode
 intra-group efficiency at large Np
@@ -62,7 +68,13 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core.fragment_task import FragmentTask, TaskProblem, get_task_problem
+from repro.core.fragment_task import (
+    FragmentTask,
+    TaskProblem,
+    get_task_problem,
+    potential_fingerprint,
+    resolve_screening_potential,
+)
 from repro.parallel.amdahl import measured_intra_group_efficiency
 from repro.parallel.distributed import slab_bounds
 
@@ -139,27 +151,26 @@ class BandBlockTask:
     ----------
     kind:
         Kernel selector — ``"apply_local"`` (kinetic + local-potential
-        share of H·psi for the slice's rows) or ``"residual_precond"``
-        (residual, per-row norms and preconditioned residual of one CG
-        sweep).
+        share of H·psi for the slice's rows), ``"apply_h"`` (the same
+        plus the slice's Kleinman-Bylander term via the blocked
+        fixed-shape kernel) or ``"residual_precond"`` (residual, per-row
+        norms and preconditioned residual of one CG sweep).
     bands:
-        The :class:`BandSlice` this task covers (bookkeeping; the arrays
-        below already carry only the slice's rows).
+        The :class:`BandSlice` this task covers (bookkeeping for the
+        gathers, and the global band offset the blocked nonlocal kernel
+        aligns to; the arrays below already carry only the slice's rows).
     template:
         The owning fragment's solve task.  Its
         :meth:`~repro.core.fragment_task.FragmentTask.static_fingerprint`
         keys the per-process static-problem cache, so pool workers build
         each fragment's basis/Hamiltonian once and reuse it for every
-        slice of every sweep; its ``screening_potential`` is the
-        iteration's potential the worker installs before applying H.
-
-        IPC trade-off (process pools): the template — including the
-        fragment-box potential — rides on every task of every stage, the
-        same ship-the-inputs choice the fused pipeline makes for the
-        global potential.  :class:`BandGroup` strips the (never-read)
-        warm-start block; installing the potential once per solve per
-        worker (keyed by a potential fingerprint) would trim the rest
-        and is noted in the ROADMAP.
+        slice of every sweep; the iteration's screening potential rides
+        either inline (``screening_potential``) or — with the PR 6
+        install channel — as a fingerprint key (``screening_key``) the
+        worker resolves from its installed-potential store, so the array
+        is pickled once per (fragment, iteration, worker) instead of
+        once per slice per stage.  :class:`BandGroup` strips the
+        (never-read) warm-start block either way.
     block:
         The slice's rows of the primary band block (``x`` rows for
         ``apply_local``; ``x`` rows for ``residual_precond``).
@@ -190,6 +201,18 @@ class BandBlockTask:
     def cost(self) -> float:
         """Relative cost for LPT scheduling (rows x plane waves)."""
         return float(self.block.size)
+
+    def with_potential_payload(self, key: str, payload: np.ndarray) -> "BandBlockTask":
+        """Copy of this task with the installed potential attached inline.
+
+        The executor's retry path for
+        :class:`~repro.core.fragment_task.PotentialNotInstalledError`;
+        returns ``self`` unchanged when the key does not match.
+        """
+        t = self.template
+        if t.screening_key != key or t.screening_potential is not None:
+            return self
+        return replace(self, template=replace(t, screening_potential=payload))
 
 
 @dataclass
@@ -255,13 +278,19 @@ def run_band_block_task(
     t0 = time.perf_counter()
     if problem is None:
         problem = get_task_problem(task.template)
-    if task.kind == "apply_local":
+    if task.kind in ("apply_local", "apply_h"):
         h = problem.hamiltonian
-        if task.template.screening_potential is None:
-            raise ValueError(f"band task {task.label!r} has no screening potential")
+        # Raises PotentialNotInstalledError for an uninstalled key — the
+        # executor retries this task with the payload attached.
+        v_screen = resolve_screening_potential(task.template)
         # Idempotent across the slices of one grouped solve (same array).
-        h.set_effective_potential(np.asarray(task.template.screening_potential))
-        data = h.apply_local(np.asarray(task.block, dtype=complex))
+        h.set_effective_potential(v_screen)
+        cblock = np.asarray(task.block, dtype=complex)
+        data = h.apply_local(cblock)
+        if task.kind == "apply_h":
+            # Blocked fixed-shape KB kernel aligned to the GLOBAL band
+            # index — concatenated slices match the full-block bits.
+            h.add_nonlocal(data, cblock, band_offset=task.bands.lo)
         extra = None
     elif task.kind == "residual_precond":
         precond = problem.hamiltonian.preconditioner()
@@ -374,12 +403,25 @@ class BandGroup:
         cores per fragment group.
     template:
         The fragment's solve task (must carry a real
-        ``screening_potential``); shipped with every band task so pool
-        workers can reach the cached static problem.
+        ``screening_potential`` or an installed ``screening_key``);
+        shipped with every band task so pool workers can reach the
+        cached static problem.
     problem:
         The driver-side static problem (for the root's nonlocal term and
         Hamiltonian bookkeeping); looked up from the per-process cache
         when omitted.
+    install:
+        Install the screening potential once per worker through
+        ``executor.install_state`` and strip the array from the shipped
+        template (PR 6); falls back to inline shipping when the executor
+        lacks an install channel.  Bit-identical either way.
+    sliced_nonlocal:
+        Run the Kleinman-Bylander term inside the slices (``"apply_h"``
+        tasks, blocked fixed-shape kernel) instead of on the root.
+        Bit-identical either way; automatically falls back to the root
+        path when the blocked kernel is disabled
+        (``REPRO_NONLOCAL_BLOCK=0``), whose single variable-shape GEMM
+        is not slice-stable.
     """
 
     def __init__(
@@ -388,6 +430,8 @@ class BandGroup:
         nslices: int,
         template: FragmentTask,
         problem: TaskProblem | None = None,
+        install: bool = True,
+        sliced_nonlocal: bool = True,
     ) -> None:
         if nslices < 1:
             raise ValueError("nslices must be positive")
@@ -401,9 +445,18 @@ class BandGroup:
         # Every band task of every stage ships this template (the process
         # backend pickles it each time), so drop the warm-start block —
         # neither band kernel reads it, and it is the largest field after
-        # the screening potential, which the workers do need.
+        # the screening potential, which the install channel strips next.
         self.template = replace(template, initial_coefficients=None)
         self.problem = problem if problem is not None else get_task_problem(template)
+        self.sliced_nonlocal = bool(sliced_nonlocal)
+        self.install = bool(install) and hasattr(executor, "install_state")
+        if self.install and self.template.screening_potential is not None:
+            v = np.asarray(self.template.screening_potential)
+            key = potential_fingerprint(v)
+            executor.install_state(key, v)
+            self.template = replace(
+                self.template, screening_potential=None, screening_key=key
+            )
         self.stats = BandGroupStats(nslices=self.nslices)
 
     # ------------------------------------------------------------------
@@ -436,12 +489,18 @@ class BandGroup:
     def apply_h(self, block: np.ndarray) -> np.ndarray:
         """Group-distributed H·psi on a band block, bit-identical to serial.
 
-        The slices compute the row-independent kinetic + local-potential
-        share (:meth:`~repro.pw.hamiltonian.Hamiltonian.apply_local`);
-        the root concatenates and adds the nonlocal projector term on the
-        full block — identical BLAS shapes to the single-worker
-        ``h.apply``, hence identical bits.
+        With ``sliced_nonlocal`` (the default) each slice computes its
+        rows' *full* H·psi — kinetic + local potential plus its share of
+        the Kleinman-Bylander term through the blocked fixed-shape kernel
+        aligned to global band indices — and the root only concatenates.
+        Otherwise the slices carry the row-independent
+        :meth:`~repro.pw.hamiltonian.Hamiltonian.apply_local` share and
+        the root adds the nonlocal term on the full block.  Both paths
+        produce identical bits to the single-worker ``h.apply``.
         """
+        if self.sliced_nonlocal and self.problem.hamiltonian.nonlocal_block > 0:
+            results = self._run_stage("apply_h", block)
+            return np.concatenate([r.data for r in results], axis=0)
         results = self._run_stage("apply_local", block)
         out = np.concatenate([r.data for r in results], axis=0)
         return self.problem.hamiltonian.add_nonlocal(out, block)

@@ -48,6 +48,7 @@ from typing import Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.constants import FOUR_PI
+from repro.pw import fftcache
 from repro.pw.xc import lda_xc
 
 
@@ -235,9 +236,13 @@ class GlobalStepResult:
 
 def _kernel_fft_planes(task: GlobalStepTask):
     # Forward FFT over the two locally complete axes of an x-slab, in the
-    # same order numpy's fftn uses (last axis first).
-    a = np.fft.fft(task.data, axis=2)
-    return np.fft.fft(a, axis=1), None
+    # same order numpy's fftn uses (last axis first).  The half-transformed
+    # intermediate lives in a pooled workspace buffer (bit-identical reuse,
+    # see repro.pw.fftcache); the returned slab is always fresh because the
+    # caller retains it.
+    with fftcache.scratch(task.data.shape) as w:
+        a = fftcache.fft(task.data, axis=2, out=w)
+        return np.fft.fft(a, axis=1), None
 
 
 def _kernel_fft_lines(task: GlobalStepTask):
@@ -249,23 +254,26 @@ def _kernel_poisson_lines(task: GlobalStepTask):
     # Complete the forward transform, then apply the reciprocal-space
     # Poisson kernel 4 pi / |G|^2 with the G = 0 component zeroed —
     # element for element the arithmetic of repro.pw.hartree.
-    rho_g = np.fft.fft(task.data, axis=0)
-    g2 = task.aux
-    vg = np.zeros_like(rho_g)
-    nonzero = g2 > 1e-12
-    vg[nonzero] = FOUR_PI * rho_g[nonzero] / g2[nonzero]
-    return vg, None
+    with fftcache.scratch(task.data.shape) as w:
+        rho_g = fftcache.fft(task.data, axis=0, out=w)
+        g2 = task.aux
+        vg = np.zeros(rho_g.shape, dtype=rho_g.dtype)
+        nonzero = g2 > 1e-12
+        vg[nonzero] = FOUR_PI * rho_g[nonzero] / g2[nonzero]
+        return vg, None
 
 
 def _kernel_filter_lines(task: GlobalStepTask):
     # Complete the forward transform, then apply a reciprocal-space filter
     # slab (the Kerker preconditioner q^2 / (q^2 + q0^2)).
-    return task.aux * np.fft.fft(task.data, axis=0), None
+    with fftcache.scratch(task.data.shape) as w:
+        return task.aux * fftcache.fft(task.data, axis=0, out=w), None
 
 
 def _kernel_ifft_planes(task: GlobalStepTask):
-    a = np.fft.ifft(task.data, axis=2)
-    return np.fft.ifft(a, axis=1), None
+    with fftcache.scratch(task.data.shape) as w:
+        a = fftcache.ifft(task.data, axis=2, out=w)
+        return np.fft.ifft(a, axis=1), None
 
 
 def _kernel_ifft_lines(task: GlobalStepTask):
@@ -273,15 +281,18 @@ def _kernel_ifft_lines(task: GlobalStepTask):
 
 
 def _kernel_ifft_lines_real(task: GlobalStepTask):
-    return np.real(np.fft.ifft(task.data, axis=0)), None
+    with fftcache.scratch(task.data.shape) as w:
+        u = fftcache.ifft(task.data, axis=0, out=w)
+        return u.real.copy(), None
 
 
 def _kernel_ifft_lines_combine(task: GlobalStepTask):
     # Final stage of a spectral (Kerker) mix: finish the inverse
     # transform of the filtered residual and take the damped step
     # v_next = v_in + alpha * update on this shard's planes.
-    update = np.real(np.fft.ifft(task.data, axis=0))
-    return task.aux + task.scalars["alpha"] * update, None
+    with fftcache.scratch(task.data.shape) as w:
+        update = fftcache.ifft(task.data, axis=0, out=w).real
+        return task.aux + task.scalars["alpha"] * update, None
 
 
 def _kernel_xc(task: GlobalStepTask):

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import time
+from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Sequence
 
@@ -57,7 +58,13 @@ from repro.core.fragment_task import (
     FragmentTask,
     FragmentTaskResult,
     PipelineFragmentExecutor,
+    PotentialNotInstalledError,
+    StackedPipelineResult,
+    StackedPipelineTask,
+    install_potential,
+    potential_fingerprint,
     run_fragment_pipeline_task,
+    run_stacked_pipeline_task,
     solve_fragment_task,
 )
 from repro.parallel.bands import (
@@ -70,7 +77,7 @@ from repro.parallel.distributed import (
     GlobalStepTask,
     run_global_step_task,
 )
-from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
+from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary, pack_stacks
 
 __all__ = [
     "BandBlockTask",
@@ -85,15 +92,33 @@ __all__ = [
     "GlobalStepExecutor",
     "GlobalStepTask",
     "PipelineFragmentExecutor",
+    "PotentialNotInstalledError",
     "ProcessPoolFragmentExecutor",
     "ScheduleSummary",
     "SerialFragmentExecutor",
+    "StackedPipelineResult",
+    "StackedPipelineTask",
     "ThreadPoolFragmentExecutor",
+    "install_potential",
+    "pack_stacks",
+    "potential_fingerprint",
     "run_band_block_task",
     "run_fragment_pipeline_task",
     "run_global_step_task",
+    "run_stacked_pipeline_task",
     "solve_fragment_task",
 ]
+
+
+def _run_pipeline_unit(unit):
+    """Kernel dispatcher for stacked pipeline batches (picklable).
+
+    One physical submission is either a plain pipeline task or a stack of
+    small ones; both run the same per-fragment kernel underneath.
+    """
+    if isinstance(unit, StackedPipelineTask):
+        return run_stacked_pipeline_task(unit)
+    return run_fragment_pipeline_task(unit)
 
 
 def _resolve_worker_count(n_workers: int | None, nworkers: int | None) -> int:
@@ -107,19 +132,31 @@ def _resolve_worker_count(n_workers: int | None, nworkers: int | None) -> int:
 class SerialFragmentExecutor:
     """Executes fragment tasks one after another in the calling process.
 
-    ``tasks_submitted`` counts every task ever handed to this executor
-    (plain and pipeline alike) — the bookkeeping the fused-pipeline tests
-    use to assert "exactly one submission per fragment per iteration".
+    ``tasks_submitted`` counts every *logical* task ever handed to this
+    executor (plain and pipeline alike) — the bookkeeping the
+    fused-pipeline tests use to assert "exactly one submission per
+    fragment per iteration".  ``pool_submissions`` counts physical kernel
+    invocations; serially the two coincide.
     """
 
     def __init__(self) -> None:
         self.n_workers = 1
         self.tasks_submitted = 0
+        self.pool_submissions = 0
 
     @property
     def nworkers(self) -> int:
         """Worker count under the legacy spelling (same as ``n_workers``)."""
         return self.n_workers
+
+    def install_state(self, key: str, payload: np.ndarray) -> None:
+        """Install a shared potential under ``key`` (in-process store).
+
+        The serial backend runs every kernel in the calling process, so
+        one :func:`repro.core.fragment_task.install_potential` call makes
+        the payload visible to all subsequent key-carrying tasks.
+        """
+        install_potential(key, payload)
 
     def run(self, tasks: Sequence[FragmentTask]) -> ExecutionReport:
         """Run fragment solve tasks sequentially via the shared kernel.
@@ -153,6 +190,7 @@ class SerialFragmentExecutor:
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
         self.tasks_submitted += len(tasks)
+        self.pool_submissions += len(tasks)
         results = [kernel(t) for t in tasks]
         return ExecutionReport(
             results=results,
@@ -173,14 +211,33 @@ class SerialFragmentExecutor:
 class _PoolFragmentExecutor:
     """Shared machinery of the thread- and process-pool backends."""
 
-    def __init__(self, n_workers: int | None = None, nworkers: int | None = None) -> None:
+    # Process pools must push installed potentials into the workers; the
+    # thread pool shares the driver's process-level store.
+    _broadcast_installs = False
+    _INSTALL_PAYLOAD_MAX = 64
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        nworkers: int | None = None,
+        stack_small_tasks: bool = True,
+    ) -> None:
         self.n_workers = _resolve_worker_count(n_workers, nworkers)
         self._pool: Executor | None = None
         self._scheduler = FragmentScheduler()
-        # Count of every task handed to the pool (or run on the in-process
-        # fast path) over this executor's lifetime; the pipeline tests use
-        # it to assert one submission per fragment per SCF iteration.
+        # Count of every *logical* task handed to this executor over its
+        # lifetime; the pipeline tests use it to assert one submission per
+        # fragment per SCF iteration.  Stacking does not change it.
         self.tasks_submitted = 0
+        # Physical submissions (pool futures or fast-path kernel calls);
+        # stacking makes this smaller than tasks_submitted.
+        self.pool_submissions = 0
+        # Install-channel broadcasts (not counted as pool submissions).
+        self.install_broadcasts = 0
+        self.stack_small_tasks = bool(stack_small_tasks)
+        # Driver-side copies of installed potentials, for the retry path
+        # when a pool worker misses a broadcast (LRU-bounded).
+        self._install_payloads: OrderedDict[str, np.ndarray] = OrderedDict()
 
     @property
     def nworkers(self) -> int:
@@ -194,6 +251,36 @@ class _PoolFragmentExecutor:
         if self._pool is None:
             self._pool = self._make_pool()
         return self._pool
+
+    def install_state(self, key: str, payload: np.ndarray) -> None:
+        """Install a shared potential once per worker under ``key``.
+
+        The driver's process-level store always receives the payload
+        (covering the in-process fast paths and the thread pool, whose
+        workers share it); process pools additionally broadcast one
+        install per worker.  A broadcast is best-effort — a busy worker
+        may miss it — so key-carrying kernels raise
+        :class:`repro.core.fragment_task.PotentialNotInstalledError` and
+        :meth:`_gather` retries that one task with the payload attached.
+        Re-installing an already-known key is a no-op.
+        """
+        arr = np.asarray(payload)
+        if key in self._install_payloads:
+            self._install_payloads.move_to_end(key)
+            return
+        install_potential(key, arr)
+        self._install_payloads[key] = arr
+        while len(self._install_payloads) > self._INSTALL_PAYLOAD_MAX:
+            self._install_payloads.popitem(last=False)
+        if self._broadcast_installs and self.n_workers > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(install_potential, key, arr)
+                for _ in range(self.n_workers)
+            ]
+            for f in futures:
+                f.result()
+            self.install_broadcasts += self.n_workers
 
     def schedule(self, tasks: Sequence[FragmentTask]) -> ScheduleSummary:
         """LPT assignment of the batch onto the workers (predicted loads)."""
@@ -221,11 +308,20 @@ class _PoolFragmentExecutor:
     ) -> ExecutionReport:
         """Run fused Gen_VF -> solve -> Gen_dens tasks through the pool.
 
-        Each fragment is exactly one pool submission: the worker gathers
-        the restriction, solves, and extracts the weighted interior in a
+        Each fragment is one *logical* submission: the worker gathers the
+        restriction, solves, and extracts the weighted interior in a
         single round trip (the unfused path needs the same submission plus
-        two driver-side serial loops around it).
+        two driver-side serial loops around it).  With
+        ``stack_small_tasks`` (the default) the small fragments of a
+        mixed batch are LPT-binned into
+        :class:`~repro.core.fragment_task.StackedPipelineTask` stacks, so
+        they share pool submissions without touching the logical-task
+        accounting or any result bit.
         """
+        if self.stack_small_tasks and self.n_workers > 1 and len(tasks) > 2:
+            groups = pack_stacks([t.cost() for t in tasks], self.n_workers)
+            if any(len(g) > 1 for g in groups):
+                return self._execute_stacked(tasks, groups)
         return self._execute(tasks, run_fragment_pipeline_task)
 
     def run_global(self, tasks: Sequence[GlobalStepTask]) -> ExecutionReport:
@@ -248,9 +344,29 @@ class _PoolFragmentExecutor:
         """
         return self._execute(tasks, run_band_block_task)
 
+    def _gather(self, future, task, kernel):
+        """Resolve one future, healing a missed potential install.
+
+        A pool worker that never received an ``install_state`` broadcast
+        raises :class:`PotentialNotInstalledError`; the task is resubmitted
+        once with the driver's payload attached (bit-identical bytes, so
+        the result is unchanged).  Tasks without an install channel, or
+        keys the driver does not hold, re-raise.
+        """
+        try:
+            return future.result()
+        except PotentialNotInstalledError as exc:
+            attach = getattr(task, "with_potential_payload", None)
+            payload = self._install_payloads.get(exc.key)
+            if attach is None or payload is None:
+                raise
+            self.pool_submissions += 1
+            return self._ensure_pool().submit(kernel, attach(exc.key, payload)).result()
+
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
         self.tasks_submitted += len(tasks)
+        self.pool_submissions += len(tasks)
         if self.n_workers == 1 or len(tasks) <= 1:
             results = [kernel(t) for t in tasks]
             return ExecutionReport(
@@ -264,7 +380,50 @@ class _PoolFragmentExecutor:
         order = np.argsort([t.cost() for t in tasks])[::-1]
         pool = self._ensure_pool()
         futures = {int(i): pool.submit(kernel, tasks[int(i)]) for i in order}
-        results = [futures[i].result() for i in range(len(tasks))]
+        results = [
+            self._gather(futures[i], tasks[i], kernel) for i in range(len(tasks))
+        ]
+        return ExecutionReport(
+            results=results,
+            wall_time=time.perf_counter() - t0,
+            worker_count=self.n_workers,
+            schedule=schedule,
+        )
+
+    def _execute_stacked(
+        self, tasks: Sequence[FragmentPipelineTask], groups: list[list[int]]
+    ) -> ExecutionReport:
+        """Run a pipeline batch with small tasks stacked per ``groups``.
+
+        ``groups`` partitions the task indices (from
+        :func:`repro.parallel.scheduler.pack_stacks`); singleton groups
+        run the plain pipeline kernel, larger ones ride one
+        :class:`~repro.core.fragment_task.StackedPipelineTask` submission
+        and are flattened back so ``results`` stays in task order —
+        reports are indistinguishable from unstacked runs apart from the
+        physical ``pool_submissions`` count.
+        """
+        t0 = time.perf_counter()
+        self.tasks_submitted += len(tasks)
+        self.pool_submissions += len(groups)
+        units: list = [
+            tasks[g[0]] if len(g) == 1 else StackedPipelineTask([tasks[i] for i in g])
+            for g in groups
+        ]
+        schedule = self._scheduler.schedule_tasks(units, self.n_workers)
+        order = np.argsort([u.cost() for u in units])[::-1]
+        pool = self._ensure_pool()
+        futures = {
+            int(i): pool.submit(_run_pipeline_unit, units[int(i)]) for i in order
+        }
+        results: list = [None] * len(tasks)
+        for gi, g in enumerate(groups):
+            res = self._gather(futures[gi], units[gi], _run_pipeline_unit)
+            if len(g) == 1:
+                results[g[0]] = res
+            else:
+                for idx, r in zip(g, res.results):
+                    results[idx] = r
         return ExecutionReport(
             results=results,
             wall_time=time.perf_counter() - t0,
@@ -322,7 +481,12 @@ class ProcessPoolFragmentExecutor(_PoolFragmentExecutor):
     n_workers:
         Number of worker processes ("groups"); defaults to the CPU count.
         The legacy spelling ``nworkers`` is also accepted.
+    stack_small_tasks:
+        Bin small pipeline tasks into stacked submissions (PR 6 knob,
+        default on; see :meth:`run_pipeline`).
     """
+
+    _broadcast_installs = True
 
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.n_workers)

@@ -13,6 +13,7 @@ from functools import cached_property
 
 import numpy as np
 
+from repro.pw import fftcache
 from repro.pw.grid import FFTGrid
 
 
@@ -76,17 +77,26 @@ class PlaneWaveBasis:
         return int(idx[0])
 
     # -- grid scatter / gather -------------------------------------------------
-    def to_grid(self, coeffs: np.ndarray) -> np.ndarray:
+    def to_grid(self, coeffs: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Scatter coefficient vector(s) onto the full FFT reciprocal grid.
 
         ``coeffs`` has shape ``(..., npw)``; the result has shape
         ``(..., *grid.shape)`` with zeros outside the cutoff sphere.
+        ``out`` may be a C-contiguous workspace buffer of the result shape
+        (e.g. from :mod:`repro.pw.fftcache`); it is zero-filled and reused,
+        which is bit-identical to allocating a fresh array.
         """
         coeffs = np.asarray(coeffs)
         lead = coeffs.shape[:-1]
-        out = np.zeros(lead + (self.grid.npoints,), dtype=complex)
-        out[..., self._indices] = coeffs
-        return out.reshape(lead + self.grid.shape)
+        if out is None:
+            flat = np.zeros(lead + (self.grid.npoints,), dtype=complex)
+        else:
+            if out.shape != lead + self.grid.shape:
+                raise ValueError("scatter buffer shape mismatch")
+            flat = out.reshape(lead + (self.grid.npoints,))
+            flat.fill(0)
+        flat[..., self._indices] = coeffs
+        return flat.reshape(lead + self.grid.shape)
 
     def from_grid(self, field_g: np.ndarray) -> np.ndarray:
         """Gather FFT-grid reciprocal field(s) back into basis coefficients."""
@@ -96,23 +106,39 @@ class PlaneWaveBasis:
         return flat[..., self._indices]
 
     # -- real-space wavefunctions ----------------------------------------------
-    def to_real_space(self, coeffs: np.ndarray) -> np.ndarray:
+    def to_real_space(
+        self,
+        coeffs: np.ndarray,
+        out: np.ndarray | None = None,
+        work: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Wavefunction(s) on the real-space grid from basis coefficients.
 
         Normalisation: with coefficients normalised as sum |c_G|^2 = 1 the
-        returned psi(r) satisfies integral |psi|^2 dr = 1.
+        returned psi(r) satisfies integral |psi|^2 dr = 1.  ``work``
+        receives the reciprocal-space scatter and ``out`` the inverse
+        transform (workspace buffers, bit-identical reuse).  Callers must
+        use the *returned* array: with the pool disabled the buffers are
+        ignored and a fresh array comes back.
         """
-        field_g = self.to_grid(coeffs)
+        field_g = self.to_grid(coeffs, out=work)
         # ifftn carries a 1/N factor; the physical convention needs
         # psi(r) = (1/sqrt(Omega)) sum_G c_G e^{iGr}, i.e. multiply by
         # N/sqrt(Omega).
         scale = self.grid.npoints / np.sqrt(self.grid.volume)
-        return np.fft.ifftn(field_g, axes=(-3, -2, -1)) * scale
+        psi = fftcache.ifftn(field_g, axes=(-3, -2, -1), out=out)
+        psi *= scale
+        return psi
 
-    def from_real_space(self, psi_r: np.ndarray) -> np.ndarray:
-        """Project real-space wavefunction(s) back onto the basis."""
+    def from_real_space(self, psi_r: np.ndarray, work: np.ndarray | None = None) -> np.ndarray:
+        """Project real-space wavefunction(s) back onto the basis.
+
+        ``work`` may hold the forward transform (workspace buffer); the
+        returned coefficient array is always freshly allocated.
+        """
         scale = np.sqrt(self.grid.volume) / self.grid.npoints
-        field_g = np.fft.fftn(np.asarray(psi_r), axes=(-3, -2, -1)) * scale
+        field_g = fftcache.fftn(np.asarray(psi_r), axes=(-3, -2, -1), out=work)
+        field_g *= scale
         return self.from_grid(field_g)
 
     # -- misc --------------------------------------------------------------------

@@ -9,11 +9,41 @@ reproduction uses smaller grids but the machinery is identical.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
+
+from repro.pw import fftcache
+
+# -- cross-instance memo -------------------------------------------------------
+# LS3DF instantiates one FFTGrid per fragment, but fragments of the same
+# class share (cell, shape) — and everything derived from ``g2`` (Poisson
+# masks, preconditioners, pseudopotential form factors) is then identical
+# across those instances.  The memo below shares such arrays across *equal*
+# grids so repeated fragment instantiation stops recomputing them.  Memoized
+# ndarrays are frozen read-only because they are shared.
+_MEMO_LOCK = threading.Lock()
+_MEMO: "OrderedDict[tuple, object]" = OrderedDict()
+_MEMO_MAX = 512
+_MEMO_STATS = {"hits": 0, "misses": 0}
+
+
+def grid_memo_stats() -> dict:
+    """Snapshot of the grid-memo hit/miss counters."""
+    with _MEMO_LOCK:
+        return dict(_MEMO_STATS, entries=len(_MEMO))
+
+
+def clear_grid_memo() -> None:
+    """Drop all memoized grid-derived arrays and zero the counters."""
+    with _MEMO_LOCK:
+        _MEMO.clear()
+        _MEMO_STATS["hits"] = 0
+        _MEMO_STATS["misses"] = 0
 
 
 @dataclass(frozen=True)
@@ -97,18 +127,52 @@ class FFTGrid:
         gnyq = np.pi * np.asarray(self.shape) / np.asarray(self.cell)
         return float(np.min(gnyq) ** 2)
 
+    # -- derived-array memo -----------------------------------------------------
+    def memo(self, key, factory: Callable[[], object]):
+        """Memoize a grid-derived value across *equal* grids.
+
+        ``key`` must uniquely describe the derivation (include every extra
+        parameter, e.g. an ``ecut``); the value is shared by every
+        ``FFTGrid`` with the same ``(cell, shape)``, so returned ndarrays
+        are frozen read-only.  Hot-path users: the Poisson nonzero mask,
+        the default eigensolver preconditioner and the pseudopotential
+        form factors.
+        """
+        full = (self.cell, self.shape, key)
+        with _MEMO_LOCK:
+            if full in _MEMO:
+                _MEMO.move_to_end(full)
+                _MEMO_STATS["hits"] += 1
+                return _MEMO[full]
+        value = factory()
+        if isinstance(value, np.ndarray):
+            value.flags.writeable = False
+        with _MEMO_LOCK:
+            if full in _MEMO:
+                _MEMO_STATS["hits"] += 1
+            else:
+                _MEMO[full] = value
+                _MEMO_STATS["misses"] += 1
+                while len(_MEMO) > _MEMO_MAX:
+                    _MEMO.popitem(last=False)
+            return _MEMO[full]
+
     # -- transforms -----------------------------------------------------------
-    def to_reciprocal(self, field_r: np.ndarray) -> np.ndarray:
-        """Forward FFT of a real-space field (convention: plain ``fftn``)."""
+    def to_reciprocal(self, field_r: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Forward FFT of a real-space field (convention: plain ``fftn``).
+
+        ``out`` may be a workspace buffer from :mod:`repro.pw.fftcache`;
+        results are bit-identical with or without it.
+        """
         if field_r.shape != self.shape:
             raise ValueError(f"field shape {field_r.shape} != grid shape {self.shape}")
-        return np.fft.fftn(field_r)
+        return fftcache.fftn(field_r, out=out)
 
-    def to_real(self, field_g: np.ndarray) -> np.ndarray:
+    def to_real(self, field_g: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Inverse FFT back to real space."""
         if field_g.shape != self.shape:
             raise ValueError(f"field shape {field_g.shape} != grid shape {self.shape}")
-        return np.fft.ifftn(field_g)
+        return fftcache.ifftn(field_g, out=out)
 
     # -- reductions -----------------------------------------------------------
     def integrate(self, field_r: np.ndarray) -> float | complex:

@@ -15,14 +15,29 @@ exact-diagonalization reference solver on tiny fragments.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.atoms.structure import Structure
+from repro.pw import fftcache
 from repro.pw.basis import PlaneWaveBasis
 from repro.pw.pseudopotential import PseudopotentialSet
+
+
+def default_nonlocal_block() -> int:
+    """Column-block size of the fixed-shape nonlocal kernel (PR 6).
+
+    ``REPRO_NONLOCAL_BLOCK`` overrides the default of 8; ``0`` disables
+    blocking and restores the seed's single variable-shape GEMM pair
+    (which is *not* row-slice stable — see :meth:`Hamiltonian.add_nonlocal`).
+    """
+    try:
+        return int(os.environ.get("REPRO_NONLOCAL_BLOCK", "8"))
+    except ValueError:
+        return 8
 
 
 @dataclass
@@ -101,6 +116,8 @@ class Hamiltonian:
         self.projectors = projectors
         self.projector_strengths = projector_strengths
         self.counter = ApplyCounter()
+        self.nonlocal_block = default_nonlocal_block()
+        self._projectors_conj: np.ndarray | None = None
         self._default_preconditioner: np.ndarray | None = None
 
     # -- construction ----------------------------------------------------
@@ -172,28 +189,66 @@ class Hamiltonian:
         # Kinetic: diagonal in G.
         out = c * self.basis.kinetic[None, :]
 
-        # Local potential: FFT to real space, multiply, FFT back.
-        psi_r = self.basis.to_real_space(c)
-        vpsi_r = psi_r * self.local_potential[None, :, :, :]
-        out += self.basis.from_real_space(vpsi_r)
+        # Local potential: FFT to real space, multiply, FFT back — through
+        # pooled workspace buffers (repro.pw.fftcache): identical operations
+        # on reused memory, bit-identical to the allocating path.
+        shape = (nbands,) + self.basis.grid.shape
+        with fftcache.scratch(shape) as w1, fftcache.scratch(shape) as w2:
+            psi_r = self.basis.to_real_space(c, out=w2, work=w1)
+            psi_r *= self.local_potential[None, :, :, :]
+            out += self.basis.from_real_space(psi_r, work=w1)
         self.counter.add(n_fft=2 * nbands)
         return out
 
-    def add_nonlocal(self, out: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+    def add_nonlocal(
+        self, out: np.ndarray, coefficients: np.ndarray, band_offset: int = 0
+    ) -> np.ndarray:
         """Add the nonlocal KB term of a band block to ``out`` (in place).
 
-        The projections are matrix-matrix products over the *whole* block;
-        BLAS results depend on the operand shapes, so the band-sliced path
-        keeps this term on the group root (full block, identical shapes to
-        the serial path) rather than slicing it.
+        Blocked fixed-shape kernel (PR 6).  Bands are pushed through the
+        two projection GEMMs in column blocks of exactly
+        ``self.nonlocal_block`` columns, aligned to the *global* band index
+        ``band_offset + i``; columns the call does not own are zero-filled.
+        A BLAS GEMM output column depends only on its own input column once
+        the operand shapes and the column position are fixed (verified
+        property, ``tests/test_kernel_pack.py`` — the GEMM analogue of the
+        batched-pocketfft property ``apply_local`` rests on), so every
+        band's result is bit-identical no matter how the block is sliced
+        across workers.  The band-sliced eigensolver therefore runs this
+        term inside band slices (``band_offset = slice.lo``) instead of on
+        the group root.  ``nonlocal_block = 0`` restores the seed's single
+        variable-shape GEMM pair, which is *not* row-slice stable.
         """
-        if self.nproj:
-            c = coefficients
-            beta = self.projectors.conj() @ c.T  # (nproj, nbands)
-            out += (self.projectors.T @ (self.projector_strengths[:, None] * beta)).T
-            self.counter.add(
-                n_projector_flops=16.0 * self.nproj * self.basis.npw * c.shape[0]
-            )
+        if not self.nproj:
+            return out
+        c = coefficients
+        m = c.shape[0]
+        strengths = self.projector_strengths[:, None]
+        if self._projectors_conj is None:
+            self._projectors_conj = self.projectors.conj()
+        blk = int(self.nonlocal_block or 0)
+        if blk <= 0:
+            beta = self._projectors_conj @ c.T  # (nproj, nbands)
+            out += (self.projectors.T @ (strengths * beta)).T
+        elif m:
+            npw = self.basis.npw
+            cblk = np.empty((npw, blk), dtype=complex)
+            first = band_offset // blk
+            last = (band_offset + m - 1) // blk
+            for k in range(first, last + 1):
+                g_lo = max(band_offset, k * blk)
+                g_hi = min(band_offset + m, (k + 1) * blk)
+                cols = slice(g_lo - k * blk, g_hi - k * blk)
+                rows = slice(g_lo - band_offset, g_hi - band_offset)
+                if g_hi - g_lo < blk:
+                    cblk.fill(0)
+                cblk[:, cols] = c[rows].T
+                beta = self._projectors_conj @ cblk  # (nproj, blk)
+                nl = self.projectors.T @ (strengths * beta)  # (npw, blk)
+                out[rows] += nl[:, cols].T
+        self.counter.add(
+            n_projector_flops=16.0 * self.nproj * self.basis.npw * m
+        )
         return out
 
     def apply(self, coefficients: np.ndarray) -> np.ndarray:
@@ -256,8 +311,15 @@ class Hamiltonian:
         t = self.basis.kinetic
         if reference_kinetic is None:
             if self._default_preconditioner is None:
-                x = t / max(1.0, float(np.median(t)))
-                self._default_preconditioner = 1.0 / (1.0 + x + x * x)
+                def build() -> np.ndarray:
+                    x = t / max(1.0, float(np.median(t)))
+                    return 1.0 / (1.0 + x + x * x)
+
+                # Shared (read-only) across every Hamiltonian on an equal
+                # grid/cutoff — fragment re-instantiation hits the memo.
+                self._default_preconditioner = self.basis.grid.memo(
+                    ("default_preconditioner", self.basis.ecut), build
+                )
             return self._default_preconditioner
         x = t / reference_kinetic
         return 1.0 / (1.0 + x + x * x)

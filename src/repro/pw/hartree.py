@@ -14,7 +14,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.constants import FOUR_PI
+from repro.pw import fftcache
 from repro.pw.grid import FFTGrid
+
+
+def poisson_nonzero_mask(grid: FFTGrid) -> np.ndarray:
+    """Memoized ``|G|^2 > 0`` mask shared by every Poisson solve on ``grid``."""
+    return grid.memo("poisson_nonzero", lambda: grid.g2 > 1e-12)
 
 
 def hartree_potential(density: np.ndarray, grid: FFTGrid) -> np.ndarray:
@@ -34,13 +40,17 @@ def hartree_potential(density: np.ndarray, grid: FFTGrid) -> np.ndarray:
     """
     if density.shape != grid.shape:
         raise ValueError("density shape does not match grid")
-    rho_g = np.fft.fftn(density)
     g2 = grid.g2
-    vg = np.zeros_like(rho_g)
-    nonzero = g2 > 1e-12
-    vg[nonzero] = FOUR_PI * rho_g[nonzero] / g2[nonzero]
-    v = np.fft.ifftn(vg)
-    return np.real(v)
+    nonzero = poisson_nonzero_mask(grid)
+    # Workspace-pooled transforms: identical operations on reused buffers,
+    # bit-identical to the allocating path (fftcache module docstring).
+    with fftcache.scratch(grid.shape) as w1, fftcache.scratch(grid.shape) as w2:
+        rho_g = fftcache.fftn(density, out=w1)
+        vg = w2
+        vg.fill(0)
+        vg[nonzero] = FOUR_PI * rho_g[nonzero] / g2[nonzero]
+        v = fftcache.ifftn(vg, out=w1)
+        return v.real.copy()
 
 
 def hartree_energy(density: np.ndarray, grid: FFTGrid) -> float:

@@ -33,6 +33,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.pw import fftcache
 from repro.pw.grid import FFTGrid
 
 
@@ -200,10 +201,18 @@ class KerkerMixer(Mixer):
         self.grid = grid
         self.alpha = float(alpha)
         self.q0 = float(q0)
-        g2 = grid.g2
-        self._filter = g2 / (g2 + q0 * q0)
-        # G=0: keep a small fraction so the average potential can still move.
-        self._filter.flat[0] = alpha and 1.0
+
+        def build_filter() -> np.ndarray:
+            g2 = grid.g2
+            filt = g2 / (g2 + q0 * q0)
+            # G=0: keep a small fraction so the average potential can
+            # still move.
+            filt.flat[0] = alpha and 1.0
+            return filt
+
+        # Shared (read-only) across equal grids; the G=0 entry is always
+        # 1.0 for any valid alpha > 0, so the filter depends only on q0.
+        self._filter = grid.memo(("kerker_filter", self.q0), build_filter)
 
     def reset(self) -> None:
         """No state to clear; provided for interface uniformity."""
@@ -211,9 +220,15 @@ class KerkerMixer(Mixer):
     def mix(self, v_in: np.ndarray, v_out: np.ndarray) -> np.ndarray:
         if v_in.shape != self.grid.shape or v_out.shape != self.grid.shape:
             raise ValueError("potential shape mismatch")
-        resid_g = np.fft.fftn(v_out - v_in)
-        update = np.real(np.fft.ifftn(self._filter * resid_g))
-        return v_in + self.alpha * update
+        # Pooled workspace transforms — bit-identical to the allocating
+        # path (see repro.pw.fftcache).
+        with fftcache.scratch(self.grid.shape) as w1, fftcache.scratch(
+            self.grid.shape
+        ) as w2:
+            resid_g = fftcache.fftn(v_out - v_in, out=w1)
+            resid_g *= self._filter
+            update = fftcache.ifftn(resid_g, out=w2)
+            return v_in + self.alpha * update.real
 
     def spectral_filter(self) -> np.ndarray:
         """Shard-wise mix: the full-grid reciprocal-space filter.

@@ -190,7 +190,6 @@ class PseudopotentialSet:
         periodic images are summed exactly (no minimum-image truncation).
         """
         gvec = grid.g_vectors.reshape(-1, 3)
-        g2 = grid.g2.ravel()
         vg = np.zeros(grid.npoints, dtype=complex)
         symbols = np.asarray(structure.symbols)
         positions = structure.positions
@@ -200,7 +199,13 @@ class PseudopotentialSet:
             # Structure factor S(G) = sum_a exp(-i G . tau_a)
             phase = np.exp(-1j * gvec @ tau.T)  # (npoints, natoms_of_species)
             sfac = phase.sum(axis=1)
-            vg += pp.local_form_factor(g2) * sfac
+            # The |G|^2-derived form factor depends only on (grid, species
+            # params), so it is memoized on the grid — rebuilding the same
+            # fragment class re-reads it instead of re-evaluating the exps.
+            ff = grid.memo(
+                ("local_ff", pp), lambda: pp.local_form_factor(grid.g2.ravel())
+            )
+            vg += ff * sfac
         vg /= grid.volume
         vr = np.fft.ifftn(vg.reshape(grid.shape)) * grid.npoints
         return np.real(vr)
@@ -214,7 +219,6 @@ class PseudopotentialSet:
         ``rho_electrons - rho_ions``.
         """
         gvec = grid.g_vectors.reshape(-1, 3)
-        g2 = grid.g2.ravel()
         ng = np.zeros(grid.npoints, dtype=complex)
         symbols = np.asarray(structure.symbols)
         positions = structure.positions
@@ -225,7 +229,11 @@ class PseudopotentialSet:
             tau = positions[symbols == sym]
             phase = np.exp(-1j * gvec @ tau.T)
             sfac = phase.sum(axis=1)
-            ng += pp.ionic_charge_form_factor(g2) * sfac
+            ff = grid.memo(
+                ("ionic_ff", pp),
+                lambda: pp.ionic_charge_form_factor(grid.g2.ravel()),
+            )
+            ng += ff * sfac
         ng /= grid.volume
         nr = np.fft.ifftn(ng.reshape(grid.shape)) * grid.npoints
         return np.real(nr)
@@ -257,14 +265,18 @@ class PseudopotentialSet:
         structure the paper's PEtot_F optimisation exploits.
         """
         gvec = basis.g_vectors
-        g2 = basis.g2
         rows: list[np.ndarray] = []
         strengths: list[float] = []
         for atom in structure:
             pp = self[atom.symbol]
             if pp.nonlocal_strength == 0.0:
                 continue
-            radial = pp.projector_form_factor(g2)
+            # Keyed by ecut too: the basis |G|^2 set depends on the cutoff
+            # (the grid alone does not determine it).
+            radial = basis.grid.memo(
+                ("proj_ff", pp, basis.ecut),
+                lambda: pp.projector_form_factor(basis.g2),
+            )
             phase = np.exp(-1j * gvec @ atom.position)
             proj = radial * phase / np.sqrt(basis.grid.volume)
             rows.append(proj)

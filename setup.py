@@ -19,5 +19,10 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.23", "scipy>=1.9"],
+    entry_points={
+        "console_scripts": [
+            "repro-worker = repro.parallel.remote:worker_main",
+        ],
+    },
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
 )

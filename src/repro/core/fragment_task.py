@@ -1172,12 +1172,18 @@ class ExecutionReport:
     batches and :class:`FragmentPipelineResult` objects for fused pipeline
     batches; both expose the ``label`` / ``wall_time`` / ``worker_pid``
     fields the summary properties use.
+
+    ``resubmissions`` counts tasks this batch re-dispatched after a
+    worker died mid-task (always 0 for the local backends, whose workers
+    share the driver's fate); results are bit-identical either way, the
+    counter only records that the self-healing path ran.
     """
 
     results: list
     wall_time: float
     worker_count: int
     schedule: object | None = None
+    resubmissions: int = 0
 
     @property
     def total_cpu_time(self) -> float:

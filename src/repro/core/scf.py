@@ -47,6 +47,7 @@ unfinished fragments.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -127,11 +128,18 @@ class IterationTimings:
     what stays serial, so ``measured_intra_group_efficiency`` is the
     measured counterpart of the modelled
     :meth:`repro.parallel.groups.GroupDecomposition.intra_group_efficiency`.
-    ``band_schedule`` carries the *modelled* two-level decomposition
-    (group bins, Np, modelled efficiency) for reporting; on this
-    local-machine analogue the groups execute sequentially, so its
-    makespan/imbalance describe the model, not a measured concurrent
-    execution (see the ROADMAP's pool-partitioning item).
+    ``band_schedule`` carries a
+    :class:`repro.parallel.scheduler.GroupExecutionRecord`: the LPT
+    plan over group-sized bins *plus* the measured wall time of every
+    group bin and of the whole step.  With ``concurrent_groups`` (and an
+    executor whose ``partition`` can split its workers) the Ng groups
+    run on disjoint sub-pools from concurrent driver threads, so the
+    record's ``concurrent`` flag is set and ``measured_makespan`` /
+    ``concurrency_efficiency`` describe a genuinely overlapped
+    execution; otherwise the groups time-share one pool sequentially
+    and the same fields measure that serialisation.  The modelled
+    quantities (Np, modelled intra-group efficiency) remain reachable
+    through the record's delegating properties.
 
     ``checkpoint_io`` records the seconds spent writing this iteration's
     checkpoint — including mid-iteration partial-fragment payloads on
@@ -426,6 +434,21 @@ class LS3DFSCF:
         blocked fixed-shape projector kernel instead of on each group
         root (PR 6).  Bit-identical on or off; only affects the
         band-grouped path.
+    concurrent_groups:
+        Run the Ng band groups of a ``band_groups`` iteration
+        *concurrently*: the executor's workers are partitioned into one
+        sub-pool per group (``executor.partition``; see
+        :func:`repro.parallel.groups.partition_worker_counts`), each
+        group bin's LPT task queue is drained by its own driver thread
+        acting as that group's root, and
+        ``IterationTimings.band_schedule`` records the measured
+        per-group walls instead of only the modelled decomposition.
+        Bit-identical on or off — fragment results are pure functions
+        of their tasks and the Gen_dens reduce is order-fixed.  Takes
+        effect when the schedule yields more than one group (total
+        workers > ``band_groups``) and the executor supports
+        ``partition``; otherwise the groups run sequentially as before.
+        Default True.
     """
 
     def __init__(
@@ -450,6 +473,7 @@ class LS3DFSCF:
         band_groups: int | None = None,
         install_potentials: bool = True,
         sliced_nonlocal: bool = True,
+        concurrent_groups: bool = True,
     ) -> None:
         self.structure = structure
         self.grid_dims = tuple(int(m) for m in grid_dims)
@@ -517,7 +541,9 @@ class LS3DFSCF:
         self.executor = executor
         self.install_potentials = bool(install_potentials)
         self.sliced_nonlocal = bool(sliced_nonlocal)
+        self.concurrent_groups = bool(concurrent_groups)
         self.state_cache = FragmentStateCache()
+        self._last_install_key: str | None = None
 
     # ------------------------------------------------------------------
     def _default_grid(self, points_per_bohr: float | None) -> FFTGrid:
@@ -579,6 +605,7 @@ class LS3DFSCF:
         if self.install_potentials and hasattr(self.executor, "install_state"):
             potential_key = potential_fingerprint(v_in)
             self.executor.install_state(potential_key, v_in)
+        self._last_install_key = potential_key
         return [
             self.fragment_solver.make_pipeline_task(
                 f,
@@ -677,15 +704,25 @@ class LS3DFSCF:
         """One band-parallel Gen_VF -> PEtot_F -> Gen_dens lap.
 
         The two-level hierarchy in action: fragments are LPT-assigned to
-        *worker groups* (bins of ``band_groups`` workers) and processed
-        heaviest-first, one grouped solve at a time — the driver is every
-        group's root, running the dense cross-band reductions, while the
-        per-slice H·psi / residual work of the current fragment spreads
-        over the executor as :class:`~repro.parallel.bands.BandBlockTask`
-        batches.  The data path around the solves is the fused pipeline's
-        (same task construction, same deterministic chunked tree-reduce),
-        so results are bit-identical to ``pipeline=True`` runs — and
-        hence to the seed path — for any slice count and backend.
+        *worker groups* (bins of ``band_groups`` workers).  With
+        ``concurrent_groups`` and a partitionable executor the Ng bins
+        run genuinely in parallel — each group gets its own worker
+        sub-pool (``executor.partition``) and its own driver thread as
+        group root, draining that bin's queue heaviest-first — while the
+        per-slice H·psi / residual work of each fragment spreads over
+        the group's sub-pool as
+        :class:`~repro.parallel.bands.BandBlockTask` batches.  Without
+        partition support (or when the schedule has a single group) the
+        bins time-share the executor sequentially, heaviest fragment
+        first, exactly as before.  Either way the measured per-group
+        walls land in ``t.band_schedule`` (a
+        :class:`~repro.parallel.scheduler.GroupExecutionRecord`).  The
+        data path around the solves is the fused pipeline's (same task
+        construction, same deterministic chunked tree-reduce), and each
+        fragment's grouped solve is a pure function of its task, so
+        results are bit-identical to ``pipeline=True`` runs — and hence
+        to the seed path — for any slice count, backend and group
+        concurrency.
 
         With ``checkpoint_path`` set, every completed fragment's
         :class:`~repro.core.fragment_task.FragmentPipelineResult` is
@@ -733,51 +770,132 @@ class LS3DFSCF:
             }
             t.checkpoint_io += time.perf_counter() - t0
 
-        # --- PEtot_F (band-grouped): LPT over group-sized bins, then one
-        # grouped solve at a time, heaviest fragment first.
+        # --- PEtot_F (band-grouped): LPT over group-sized bins, then run
+        # the bins — concurrently on partitioned sub-pools when possible,
+        # else one grouped solve at a time, heaviest fragment first.
         t0 = time.perf_counter()
         n_workers = int(getattr(self.executor, "n_workers", 1))
-        from repro.parallel.scheduler import FragmentScheduler
+        from repro.parallel.scheduler import FragmentScheduler, GroupExecutionRecord
 
-        t.band_schedule = FragmentScheduler().schedule_grouped(
+        plan = FragmentScheduler().schedule_grouped(
             tasks,
             total_cores=max(n_workers, self.band_groups),
             cores_per_group=self.band_groups,
         )
-        order = np.argsort([task.cost() for task in tasks], kind="stable")[::-1]
+        ngroups = len(plan.assignments)
+        concurrent = bool(
+            self.concurrent_groups
+            and ngroups > 1
+            and callable(getattr(self.executor, "partition", None))
+        )
         results: list[FragmentPipelineResult | None] = [None] * len(tasks)
         replayed_indices: set[int] = set()
-        partial_io = 0.0
-        for idx in order:
-            fragment = self.fragments[idx]
-            saved = replayed.get(fragment.label)
-            if saved is not None:
-                results[idx] = saved
-                replayed_indices.add(idx)
-                t.band_replayed += 1
-                continue
+        # Replay saved fragments up front (group-independent), leaving each
+        # group bin's queue with only the work that still needs solving.
+        queues: list[list[int]] = []
+        for members in plan.assignments:
+            queue: list[int] = []
+            for idx in members:
+                saved = replayed.get(self.fragments[idx].label)
+                if saved is not None:
+                    results[idx] = saved
+                    replayed_indices.add(idx)
+                    t.band_replayed += 1
+                else:
+                    queue.append(idx)
+            queues.append(queue)
+
+        group_walls = [0.0] * ngroups
+        group_io = [0.0] * ngroups
+        group_stats: list[list] = [[] for _ in range(ngroups)]
+        io_lock = threading.Lock()
+
+        def _solve_into_group(idx: int, group: int, executor) -> None:
             pres, stats = run_fragment_pipeline_task_grouped(
                 tasks[idx],
-                self.executor,
+                executor,
                 self.band_groups,
                 install_potentials=self.install_potentials,
                 sliced_nonlocal=self.sliced_nonlocal,
             )
             results[idx] = pres
-            t.band_stages += stats.stages
-            t.band_tasks.extend(stats.task_times)
+            group_stats[group].append(stats)
             if checkpoint_path is not None:
                 tio = time.perf_counter()
-                save_partial_payload(
-                    checkpoint_path,
-                    iteration,
-                    division_signature,
-                    fragment.label,
-                    pres.state_dict(),
-                    state_fingerprint=state_fingerprint,
-                )
-                partial_io += time.perf_counter() - tio
-        t.petot_f = time.perf_counter() - t0 - partial_io
+                with io_lock:
+                    save_partial_payload(
+                        checkpoint_path,
+                        iteration,
+                        division_signature,
+                        self.fragments[idx].label,
+                        pres.state_dict(),
+                        state_fingerprint=state_fingerprint,
+                    )
+                group_io[group] += time.perf_counter() - tio
+
+        if concurrent:
+            subs = self.executor.partition(ngroups)
+            # The iteration's input potential was installed on the parent
+            # executor when the tasks were built; each group sub-pool has
+            # its own workers, so install it there too (per-sub-pool dedup
+            # makes repeats free).
+            if self._last_install_key is not None:
+                for sub in subs:
+                    if hasattr(sub, "install_state"):
+                        sub.install_state(self._last_install_key, v_in)
+            errors: list[BaseException | None] = [None] * ngroups
+
+            def _run_group(group: int) -> None:
+                g0 = time.perf_counter()
+                try:
+                    for idx in queues[group]:
+                        _solve_into_group(idx, group, subs[group])
+                except BaseException as exc:
+                    errors[group] = exc
+                finally:
+                    group_walls[group] = time.perf_counter() - g0
+
+            threads = [
+                threading.Thread(target=_run_group, args=(g,), daemon=True)
+                for g in range(ngroups)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            # A dead group must not lose its siblings' work: every other
+            # group has finished its queue (and persisted its partials)
+            # before the failure propagates, so a resume re-solves only
+            # the dead group's fragments.
+            for error in errors:
+                if error is not None:
+                    raise error
+        else:
+            group_of = {
+                idx: g for g, members in enumerate(plan.assignments) for idx in members
+            }
+            order = np.argsort([task.cost() for task in tasks], kind="stable")[::-1]
+            for idx in order:
+                idx = int(idx)
+                if idx in replayed_indices:
+                    continue
+                f0 = time.perf_counter()
+                _solve_into_group(idx, group_of[idx], self.executor)
+                group_walls[group_of[idx]] += time.perf_counter() - f0
+
+        for stats_list in group_stats:
+            for stats in stats_list:
+                t.band_stages += stats.stages
+                t.band_tasks.extend(stats.task_times)
+        step_wall = time.perf_counter() - t0
+        partial_io = float(sum(group_io))
+        t.band_schedule = GroupExecutionRecord(
+            plan=plan,
+            group_walls=group_walls,
+            wall_time=step_wall,
+            concurrent=concurrent,
+        )
+        t.petot_f = max(0.0, step_wall - partial_io)
         t.checkpoint_io += partial_io
         # Replayed fragments cost this run only the payload read (already in
         # checkpoint_io), so their entries are zero — the killed attempt's

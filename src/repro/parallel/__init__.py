@@ -37,12 +37,32 @@ explicit execution model:
   preconditioned-residual kernels, row-independent bit for bit) and the
   :class:`~repro.parallel.bands.BandGroup` root handle that makes
   ``all_band_cg`` run on a whole worker group — the paper's Np cores per
-  fragment group — with bit-identical results.
+  fragment group — with bit-identical results;
+* :mod:`repro.parallel.remote` — the *multi-node* backend: a
+  length-prefixed-pickle wire protocol, the ``repro-worker`` daemon
+  (:class:`~repro.parallel.remote.WorkerServer`) and the driver-side
+  :class:`~repro.parallel.remote.RemoteExecutor` pool that runs fragment
+  pipelines, GENPOT slabs and band slices on socket-connected workers —
+  bit-identical to the serial backend, with heartbeats, timeouts,
+  resubmission on worker death and graceful degradation to local
+  execution;
+* :mod:`repro.parallel.faults` — seeded deterministic fault injection
+  (:class:`~repro.parallel.faults.FlakyWorker`,
+  :class:`~repro.parallel.faults.FlakyExecutor`) for testing the
+  failure model end to end.
 """
 
 from repro.parallel.machine import Machine, FRANKLIN, JAGUAR, INTREPID, machine_by_name
-from repro.parallel.groups import GroupDecomposition, choose_group_size
-from repro.parallel.scheduler import FragmentScheduler, ScheduleSummary
+from repro.parallel.groups import (
+    GroupDecomposition,
+    choose_group_size,
+    partition_worker_counts,
+)
+from repro.parallel.scheduler import (
+    FragmentScheduler,
+    GroupExecutionRecord,
+    ScheduleSummary,
+)
 from repro.parallel.flops import LS3DFWorkload, FragmentWork
 from repro.parallel.comm import CommunicationModel, CommScheme
 from repro.parallel.perfmodel import LS3DFPerformanceModel, PerformancePoint, DirectDFTCostModel
@@ -94,6 +114,19 @@ from repro.parallel.executor import (
     run_fragment_pipeline_task,
     solve_fragment_task,
 )
+from repro.parallel.remote import (
+    LocalWorkerPool,
+    NoRemoteWorkersError,
+    RemoteExecutor,
+    RemoteExecutorConfig,
+    RemoteProtocolError,
+    RemoteTaskError,
+    WorkerDiedError,
+    WorkerServer,
+    start_worker_thread,
+    worker_main,
+)
+from repro.parallel.faults import FaultPlan, FlakyExecutor, FlakyWorker
 
 __all__ = [
     "Machine",
@@ -103,7 +136,9 @@ __all__ = [
     "machine_by_name",
     "GroupDecomposition",
     "choose_group_size",
+    "partition_worker_counts",
     "FragmentScheduler",
+    "GroupExecutionRecord",
     "ScheduleSummary",
     "LS3DFWorkload",
     "FragmentWork",
@@ -152,4 +187,17 @@ __all__ = [
     "ThreadPoolFragmentExecutor",
     "run_fragment_pipeline_task",
     "solve_fragment_task",
+    "LocalWorkerPool",
+    "NoRemoteWorkersError",
+    "RemoteExecutor",
+    "RemoteExecutorConfig",
+    "RemoteProtocolError",
+    "RemoteTaskError",
+    "WorkerDiedError",
+    "WorkerServer",
+    "start_worker_thread",
+    "worker_main",
+    "FaultPlan",
+    "FlakyExecutor",
+    "FlakyWorker",
 ]

@@ -38,6 +38,7 @@ attach the scheduler's predicted assignment to the report.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -143,11 +144,49 @@ class SerialFragmentExecutor:
         self.n_workers = 1
         self.tasks_submitted = 0
         self.pool_submissions = 0
+        self.install_broadcasts = 0
+        self._counter_mutex = threading.Lock()
+        self._counter_root: "SerialFragmentExecutor" = self
+        self._partitions: dict[int, list["SerialFragmentExecutor"]] = {}
 
     @property
     def nworkers(self) -> int:
         """Worker count under the legacy spelling (same as ``n_workers``)."""
         return self.n_workers
+
+    def _bump(self, logical: int, physical: int) -> None:
+        """Thread-safely count submissions on the partition root.
+
+        Partition children route their accounting here so the parent's
+        one-submission-per-fragment/slice invariants keep holding when
+        band groups run concurrently.
+        """
+        root = self._counter_root
+        with root._counter_mutex:
+            root.tasks_submitted += logical
+            root.pool_submissions += physical
+
+    def partition(self, ngroups: int) -> list["SerialFragmentExecutor"]:
+        """Split into ``ngroups`` sub-executors for concurrent band groups.
+
+        Serial children run their group's kernels in the calling (group)
+        thread — concurrency then comes from the driver's per-group
+        threads and the GIL-releasing BLAS underneath, the closest
+        serial analogue of per-group worker pools.  All submission
+        counters accumulate on this parent; partitions are cached per
+        ``ngroups`` so repeated iterations reuse the same children.
+        """
+        if ngroups < 1:
+            raise ValueError("ngroups must be positive")
+        cached = self._partitions.get(ngroups)
+        if cached is None:
+            cached = []
+            for _ in range(ngroups):
+                child = SerialFragmentExecutor()
+                child._counter_root = self._counter_root
+                cached.append(child)
+            self._partitions[ngroups] = cached
+        return cached
 
     def install_state(self, key: str, payload: np.ndarray) -> None:
         """Install a shared potential under ``key`` (in-process store).
@@ -189,8 +228,7 @@ class SerialFragmentExecutor:
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
-        self.tasks_submitted += len(tasks)
-        self.pool_submissions += len(tasks)
+        self._bump(len(tasks), len(tasks))
         results = [kernel(t) for t in tasks]
         return ExecutionReport(
             results=results,
@@ -236,8 +274,51 @@ class _PoolFragmentExecutor:
         self.install_broadcasts = 0
         self.stack_small_tasks = bool(stack_small_tasks)
         # Driver-side copies of installed potentials, for the retry path
-        # when a pool worker misses a broadcast (LRU-bounded).
+        # when a pool worker misses a broadcast (LRU-bounded).  Partition
+        # children share the root's store (any group can heal any key)
+        # but keep their own _broadcast_keys: each group's pool workers
+        # are distinct processes and need their own broadcast.
         self._install_payloads: OrderedDict[str, np.ndarray] = OrderedDict()
+        self._broadcast_keys: set[str] = set()
+        self._counter_mutex = threading.Lock()
+        self._counter_root: "_PoolFragmentExecutor" = self
+        self._partitions: dict[int, list["_PoolFragmentExecutor"]] = {}
+
+    def _bump(self, logical: int, physical: int) -> None:
+        """Thread-safely count submissions on the partition root."""
+        root = self._counter_root
+        with root._counter_mutex:
+            root.tasks_submitted += logical
+            root.pool_submissions += physical
+
+    def partition(self, ngroups: int) -> list["_PoolFragmentExecutor"]:
+        """Split into ``ngroups`` sub-pools for concurrent band groups.
+
+        Each child is a backend of the same type owning ``n_workers //
+        ngroups`` (at least 1) of the parent's worker budget and its own
+        pool — a genuinely independent per-group task queue, the local
+        analogue of the paper giving every fragment group its own Np
+        cores.  Children share the parent's driver-side install store
+        (for healing) and route all submission counters to it; they are
+        cached per ``ngroups``, so each group's worker processes — and
+        their warm static-problem caches — survive across iterations.
+        """
+        if ngroups < 1:
+            raise ValueError("ngroups must be positive")
+        cached = self._partitions.get(ngroups)
+        if cached is None:
+            from repro.parallel.groups import partition_worker_counts
+
+            cached = []
+            for per_group in partition_worker_counts(self.n_workers, ngroups):
+                child = type(self)(
+                    n_workers=per_group, stack_small_tasks=self.stack_small_tasks
+                )
+                child._counter_root = self._counter_root
+                child._install_payloads = self._install_payloads
+                cached.append(child)
+            self._partitions[ngroups] = cached
+        return cached
 
     @property
     def nworkers(self) -> int:
@@ -265,22 +346,29 @@ class _PoolFragmentExecutor:
         Re-installing an already-known key is a no-op.
         """
         arr = np.asarray(payload)
-        if key in self._install_payloads:
-            self._install_payloads.move_to_end(key)
+        root = self._counter_root
+        with root._counter_mutex:
+            if key in self._install_payloads:
+                self._install_payloads.move_to_end(key)
+            else:
+                install_potential(key, arr)
+                self._install_payloads[key] = arr
+                while len(self._install_payloads) > self._INSTALL_PAYLOAD_MAX:
+                    self._install_payloads.popitem(last=False)
+        if not (self._broadcast_installs and self.n_workers > 1):
             return
-        install_potential(key, arr)
-        self._install_payloads[key] = arr
-        while len(self._install_payloads) > self._INSTALL_PAYLOAD_MAX:
-            self._install_payloads.popitem(last=False)
-        if self._broadcast_installs and self.n_workers > 1:
-            pool = self._ensure_pool()
-            futures = [
-                pool.submit(install_potential, key, arr)
-                for _ in range(self.n_workers)
-            ]
-            for f in futures:
-                f.result()
-            self.install_broadcasts += self.n_workers
+        if key in self._broadcast_keys:
+            return
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(install_potential, key, arr)
+            for _ in range(self.n_workers)
+        ]
+        for f in futures:
+            f.result()
+        self._broadcast_keys.add(key)
+        with root._counter_mutex:
+            root.install_broadcasts += self.n_workers
 
     def schedule(self, tasks: Sequence[FragmentTask]) -> ScheduleSummary:
         """LPT assignment of the batch onto the workers (predicted loads)."""
@@ -360,13 +448,12 @@ class _PoolFragmentExecutor:
             payload = self._install_payloads.get(exc.key)
             if attach is None or payload is None:
                 raise
-            self.pool_submissions += 1
+            self._bump(0, 1)
             return self._ensure_pool().submit(kernel, attach(exc.key, payload)).result()
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
-        self.tasks_submitted += len(tasks)
-        self.pool_submissions += len(tasks)
+        self._bump(len(tasks), len(tasks))
         if self.n_workers == 1 or len(tasks) <= 1:
             results = [kernel(t) for t in tasks]
             return ExecutionReport(
@@ -404,8 +491,7 @@ class _PoolFragmentExecutor:
         physical ``pool_submissions`` count.
         """
         t0 = time.perf_counter()
-        self.tasks_submitted += len(tasks)
-        self.pool_submissions += len(groups)
+        self._bump(len(tasks), len(groups))
         units: list = [
             tasks[g[0]] if len(g) == 1 else StackedPipelineTask([tasks[i] for i in g])
             for g in groups
@@ -432,10 +518,17 @@ class _PoolFragmentExecutor:
         )
 
     def close(self) -> None:
-        """Shut the pool down; a later :meth:`run` transparently restarts it."""
+        """Shut the pool down; a later :meth:`run` transparently restarts it.
+
+        Cached partition children (and their pools) are closed too.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        partitions, self._partitions = self._partitions, {}
+        for children in partitions.values():
+            for child in children:
+                child.close()
 
     def __enter__(self):
         return self

@@ -70,6 +70,105 @@ class ScheduleSummary:
         return float(self.group_loads.sum() / self.makespan)
 
 
+@dataclass
+class GroupExecutionRecord:
+    """A *measured* concurrent band-group execution (plan + what happened).
+
+    :meth:`FragmentScheduler.schedule_grouped` produces the modelled
+    two-level decomposition; this record wraps that plan together with
+    the wall-clock reality of actually running it — one measured wall
+    time per group bin, plus whether the groups genuinely overlapped
+    (per-group worker sub-pools driven by concurrent driver threads) or
+    time-shared one pool sequentially.  It is what
+    :attr:`repro.core.scf.IterationTimings.band_schedule` now carries;
+    the modelled quantities stay reachable through the delegating
+    properties, so existing reports keep printing model and measurement
+    side by side.
+
+    Attributes
+    ----------
+    plan:
+        The LPT :class:`ScheduleSummary` over group-sized bins that the
+        execution realised (``plan.assignments[g]`` is group ``g``'s
+        task queue, in dispatch order).
+    group_walls:
+        Measured wall-clock seconds each group spent on its queue.
+    wall_time:
+        Measured wall-clock of the whole PEtot_F step (all groups).
+    concurrent:
+        True when the groups ran on disjoint worker sub-pools in
+        parallel; False for the sequential fallback (single pool, one
+        grouped solve at a time).
+    """
+
+    plan: ScheduleSummary
+    group_walls: list[float]
+    wall_time: float
+    concurrent: bool
+
+    # -- modelled quantities (delegated to the plan) -------------------
+    @property
+    def assignments(self) -> list[list[int]]:
+        """``plan.assignments`` — the per-group task queues."""
+        return self.plan.assignments
+
+    @property
+    def cores_per_group(self) -> int | None:
+        """Np of the plan (workers per group)."""
+        return self.plan.cores_per_group
+
+    @property
+    def intra_group_efficiency(self) -> float | None:
+        """The plan's *modelled* intra-group efficiency."""
+        return self.plan.intra_group_efficiency
+
+    @property
+    def makespan(self) -> float:
+        """The plan's modelled makespan (cost units, not seconds)."""
+        return self.plan.makespan
+
+    @property
+    def imbalance(self) -> float:
+        """The plan's modelled imbalance."""
+        return self.plan.imbalance
+
+    @property
+    def lpt_speedup(self) -> float:
+        """The plan's modelled LPT speedup."""
+        return self.plan.lpt_speedup
+
+    # -- measured quantities -------------------------------------------
+    @property
+    def measured_makespan(self) -> float:
+        """Longest measured group wall — what actually bounds PEtot_F."""
+        return float(max(self.group_walls, default=0.0))
+
+    @property
+    def measured_imbalance(self) -> float:
+        """max / mean of the measured group walls (1.0 is perfect)."""
+        walls = [w for w in self.group_walls]
+        if not walls:
+            return 1.0
+        mean = float(np.mean(walls))
+        if mean <= 0:
+            return 1.0
+        return self.measured_makespan / mean
+
+    @property
+    def concurrency_efficiency(self) -> float:
+        """Measured group overlap: sum(group walls) / (Ng x step wall).
+
+        1.0 means the Ng groups kept the step wall fully busy in
+        parallel; ~1/Ng is what sequential execution yields.  0.0 when
+        nothing was measured.
+        """
+        if self.wall_time <= 0 or not self.group_walls:
+            return 0.0
+        return float(
+            sum(self.group_walls) / (len(self.group_walls) * self.wall_time)
+        )
+
+
 def pack_stacks(
     costs: Sequence[float],
     n_workers: int,

@@ -6,8 +6,9 @@ producing identical results (also end-to-end through LS3DFSCF), LPT load
 balancing, and warm-start reuse across outer iterations.
 
 Also covers the ISSUE-2 fused fragment pipeline: the backend-equivalence
-matrix (serial / thread / process pipeline runs bit-identical to each
-other and within 1e-8 of the seed serial path), exactly one executor
+matrix (serial / thread / process / remote-socket pipeline runs
+bit-identical to each other and within 1e-8 of the seed serial path,
+the remote rows crossing real loopback TCP), exactly one executor
 submission per fragment per SCF iteration, in-worker Gen_VF / Gen_dens
 timing capture, and the warm-start fix that skips the redundant
 per-iteration passivation-potential rebuild.
@@ -141,10 +142,13 @@ def test_thread_backend_same_fingerprint_tasks_do_not_race():
 
 
 def test_executors_satisfy_protocol():
+    from repro.parallel.remote import RemoteExecutor
+
     for executor in (
         SerialFragmentExecutor(),
         ThreadPoolFragmentExecutor(n_workers=1),
         ProcessPoolFragmentExecutor(n_workers=1),
+        RemoteExecutor([]),
     ):
         assert isinstance(executor, FragmentExecutor)
 
@@ -315,6 +319,25 @@ def pipeline_matrix():
     with ProcessPoolFragmentExecutor(n_workers=2) as executor:
         scf = _tiny_scf(executor, pipeline=True)
         runs["processes"] = (scf.run(**_RUN_KW), executor.tasks_submitted, scf.nfragments)
+    from repro.parallel.remote import (
+        RemoteExecutor,
+        RemoteExecutorConfig,
+        start_worker_thread,
+    )
+
+    servers = [start_worker_thread() for _ in range(2)]
+    try:
+        config = RemoteExecutorConfig(
+            connect_timeout=2.0, request_timeout=60.0,
+            heartbeat_interval=1e9, max_retries=1, backoff=0.01)
+        with RemoteExecutor([s.address for s in servers], config=config) as executor:
+            scf = _tiny_scf(executor, pipeline=True)
+            runs["remote"] = (
+                scf.run(**_RUN_KW), executor.tasks_submitted, scf.nfragments)
+            assert executor.workers_lost == 0 and executor.degraded_tasks == 0
+    finally:
+        for server in servers:
+            server.stop()
     return runs
 
 
@@ -361,10 +384,13 @@ def test_pipeline_requires_capable_executor():
     assert not isinstance(RunOnly(), PipelineFragmentExecutor)
     with pytest.raises(TypeError, match="run_pipeline"):
         _tiny_scf(RunOnly(), pipeline=True)
+    from repro.parallel.remote import RemoteExecutor
+
     for executor in (
         SerialFragmentExecutor(),
         ThreadPoolFragmentExecutor(n_workers=1),
         ProcessPoolFragmentExecutor(n_workers=1),
+        RemoteExecutor([]),
     ):
         assert isinstance(executor, PipelineFragmentExecutor)
 

@@ -575,6 +575,26 @@ def knob_matrix():
     with ProcessPoolFragmentExecutor(2) as ex:
         runs["processes-on"] = _tiny_scf(executor=ex).run(**_RUN_KW)
         assert ex.install_broadcasts > 0  # the install fan-out really ran
+    from repro.parallel.remote import (
+        RemoteExecutor,
+        RemoteExecutorConfig,
+        start_worker_thread,
+    )
+
+    servers = [start_worker_thread() for _ in range(2)]
+    try:
+        config = RemoteExecutorConfig(
+            connect_timeout=2.0, request_timeout=60.0,
+            heartbeat_interval=1e9, max_retries=1, backoff=0.01)
+        with RemoteExecutor([s.address for s in servers], config=config) as ex:
+            runs["remote-on"] = _tiny_scf(executor=ex).run(**_RUN_KW)
+            # The fingerprint install channel crossed the wire, once per
+            # worker per iteration, instead of riding along in each task.
+            assert ex.install_broadcasts > 0
+            assert ex.workers_lost == 0 and ex.degraded_tasks == 0
+    finally:
+        for server in servers:
+            server.stop()
     return runs
 
 

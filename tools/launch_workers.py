@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Launch N localhost repro-workers and print their addresses.
+
+The multi-machine quickstart (README, "Running on multiple machines")
+starts one ``repro-worker`` per host by hand; this helper is the
+single-machine convenience for demos, benchmarks and the CI
+``remote-smoke`` job: it spawns ``--n`` worker subprocesses on this
+host, prints one ``host port`` line per worker, and keeps them alive
+until Ctrl-C (or ``--duration`` elapses).
+
+Usage::
+
+    PYTHONPATH=src python tools/launch_workers.py --n 2
+    # in another shell / script:
+    #   RemoteExecutor([(host1, port1), (host2, port2)])
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.parallel.remote import LocalWorkerPool  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=2, help="workers to launch")
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to keep the workers alive (default: until Ctrl-C)",
+    )
+    args = parser.parse_args(argv)
+    with LocalWorkerPool(args.n) as pool:
+        for host, port in pool.addresses:
+            print(f"{host} {port}", flush=True)
+        try:
+            if args.duration is None:
+                while True:
+                    time.sleep(3600)
+            else:
+                time.sleep(args.duration)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,149 @@
+"""GENPOT conversion/compute overlap — the PR 8 streaming engine measured.
+
+The paper's Section IV reduces GENPOT from 22 s to 0.4 s per iteration
+partly by overlapping the slab layout conversions (the all-to-all
+transposes of the distributed FFT) with the per-slab compute, so the
+driver-side serial residue — the Amdahl ``alpha`` of the global steps —
+nearly vanishes.
+
+This benchmark runs one kerker-mixed GENPOT evaluation on a thread pool
+twice: with the synchronous PR 3 phase-barrier path
+(``overlap=False``) and with the PR 8 streaming engine (resident slabs,
+incremental exchanges, fused finish stage).  Both produce bit-identical
+fields; what changes is the accounting.  It records per-stage walls,
+the streaming occupancy and measured layout-conversion seconds, and the
+measured driver-side serial residue / alpha for both modes, written to
+``benchmarks/results/genpot_overlap.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atoms.toy import cscl_binary
+from repro.core.genpot import GlobalPotentialSolver
+from repro.io.results import ResultRecord, save_records
+from repro.io.tables import format_table
+from repro.parallel.executor import ThreadPoolFragmentExecutor
+from repro.pw.grid import FFTGrid
+from repro.pw.pseudopotential import default_pseudopotentials
+
+GRID_SHAPE = (32, 32, 64)
+SHARDS = 8
+WORKERS = 2
+REPEATS = 5
+
+
+def _measure(overlap: bool) -> dict:
+    """Best-of-``REPEATS`` GENPOT timing breakdown for one overlap mode.
+
+    Each repeat rebuilds the solver (so no FFT workspace or mixer state
+    leaks between modes) but reuses one thread pool; the repeat with the
+    smallest driver residue is kept, the usual best-of-N defence against
+    scheduler noise on shared machines.
+    """
+    grid = FFTGrid((12.0, 12.0, 24.0), GRID_SHAPE)
+    rng = np.random.default_rng(42)
+    rho = rng.random(GRID_SHAPE)
+    v_in = rng.standard_normal(GRID_SHAPE)
+    structure = cscl_binary((1, 1, 1), "Zn", "O", 6.0)
+    executor = ThreadPoolFragmentExecutor(WORKERS)
+    best = None
+    try:
+        for _ in range(REPEATS):
+            solver = GlobalPotentialSolver(
+                structure,
+                grid,
+                default_pseudopotentials(),
+                mixer="kerker",
+                shards=SHARDS,
+                executor=executor,
+                overlap=overlap,
+            )
+            out = solver.evaluate(rho, v_in)
+            tm = out.timings
+            alpha = tm.driver / (tm.driver + tm.task_cpu) if tm.task_cpu > 0 else 1.0
+            rec = {
+                "overlap": tm.overlap,
+                "poisson [s]": tm.poisson,
+                "xc [s]": tm.xc,
+                "mix [s]": tm.mix,
+                "task_cpu [s]": tm.task_cpu,
+                "driver [s]": tm.driver,
+                "alpha": alpha,
+                "layout_conversion [s]": tm.layout_conversion,
+                "wait [s]": tm.wait,
+                "busy [s]": tm.busy,
+                "occupancy": tm.occupancy,
+                "tasks": len(tm.task_times),
+            }
+            if best is None or rec["driver [s]"] < best["driver [s]"]:
+                best = rec
+    finally:
+        executor.close()
+    return best
+
+
+@pytest.mark.paper_experiment
+def test_bench_genpot_overlap(benchmark, results_dir):
+    sync, stream = benchmark.pedantic(
+        lambda: (_measure(overlap=False), _measure(overlap=True)),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for mode, rec in (("synchronous", sync), ("streaming", stream)):
+        rows.append(
+            {
+                "mode": mode,
+                "poisson [ms]": round(1e3 * rec["poisson [s]"], 2),
+                "xc [ms]": round(1e3 * rec["xc [s]"], 2),
+                "mix [ms]": round(1e3 * rec["mix [s]"], 2),
+                "driver [ms]": round(1e3 * rec["driver [s]"], 2),
+                "alpha": round(rec["alpha"], 4),
+                "conv [ms]": round(1e3 * rec["layout_conversion [s]"], 2),
+                "occupancy": round(rec["occupancy"], 3),
+            }
+        )
+    print(
+        f"\nGENPOT overlap ({GRID_SHAPE} grid, {SHARDS} slabs, "
+        f"{WORKERS} threads, kerker; best of {REPEATS}):"
+    )
+    print(format_table(rows))
+    print(
+        "driver-side serial residue: "
+        f"{1e3 * sync['driver [s]']:.2f} ms sync -> "
+        f"{1e3 * stream['driver [s]']:.2f} ms streamed "
+        f"(alpha {sync['alpha']:.4f} -> {stream['alpha']:.4f})"
+    )
+    save_records(
+        [
+            ResultRecord(
+                "genpot_overlap",
+                {
+                    "grid_shape": list(GRID_SHAPE),
+                    "shards": SHARDS,
+                    "workers": WORKERS,
+                    "repeats": REPEATS,
+                    "mixer": "kerker",
+                    "synchronous": sync,
+                    "streaming": stream,
+                },
+            )
+        ],
+        results_dir / "genpot_overlap.json",
+    )
+
+    # Shape: the streaming engine actually streamed (it measured its
+    # conversion copies and a non-degenerate occupancy), and its
+    # driver-side serial residue — the alpha the paper's overlap attacks
+    # — is below the phase-barrier path's.
+    assert not sync["overlap"] and stream["overlap"]
+    assert sync["layout_conversion [s]"] == 0.0
+    assert stream["layout_conversion [s]"] > 0.0
+    assert 0.0 < stream["occupancy"] <= 1.0
+    assert stream["tasks"] == 9 * SHARDS
+    assert stream["driver [s]"] < sync["driver [s]"]
+    assert stream["alpha"] < sync["alpha"]

@@ -106,13 +106,26 @@ class IterationTimings:
     measured counterpart of the paper's Amdahl fit (compare
     :func:`repro.parallel.amdahl.serial_fraction_history`).
 
+    With the overlapped pipeline reduce (``overlap`` True — the default
+    whenever the executor offers ``submit_pipeline_batch``) the driver
+    consumes fragment futures in fragment order while the batch tail is
+    still draining: ``overlap_wait`` / ``overlap_busy`` split that loop
+    into blocked-on-workers versus useful reduce work (see
+    ``overlap_occupancy``), and ``gen_dens`` shrinks to the residue left
+    *after* the last fragment landed.
+
     ``genpot_poisson`` / ``genpot_xc`` / ``genpot_mix`` break the GENPOT
     wall time down into its three global steps.  With ``genpot_shards >
     1`` those steps run as per-slab tasks through the executor: their
     in-worker wall times land in ``genpot_tasks`` (counted as parallel
     work by ``parallel_cpu``), ``genpot_sharded`` is set, and only the
     driver residue ``genpot_driver`` (slab scatter/gather/exchange,
-    scalar reductions, task overhead) stays in ``serial_time``.
+    scalar reductions, task overhead) stays in ``serial_time``.  With the
+    streaming engine (``genpot_overlap``; :mod:`repro.parallel.streaming`)
+    the three steps interleave per slab: ``genpot_wait`` is the driver
+    loop's blocked time and ``layout_conversion`` the *measured*
+    scatter/exchange/gather copy seconds — the previously modelled
+    layout-conversion cost of the paper's dual-layout design.
 
     With band-parallel PEtot_F (``band_groups > 1``) each fragment's
     all-band CG is itself distributed: ``band_sliced`` is set,
@@ -158,12 +171,18 @@ class IterationTimings:
     gen_vf_fragments: list[float] = field(default_factory=list)
     gen_dens_fragments: list[float] = field(default_factory=list)
     pipeline: bool = False
+    overlap: bool = False
+    overlap_wait: float = 0.0
+    overlap_busy: float = 0.0
     genpot_poisson: float = 0.0
     genpot_xc: float = 0.0
     genpot_mix: float = 0.0
     genpot_driver: float = 0.0
     genpot_tasks: list[float] = field(default_factory=list)
     genpot_sharded: bool = False
+    genpot_overlap: bool = False
+    genpot_wait: float = 0.0
+    layout_conversion: float = 0.0
     checkpoint_io: float = 0.0
     band_sliced: bool = False
     band_slices: int = 0
@@ -196,6 +215,20 @@ class IterationTimings:
     def genpot_cpu(self) -> float:
         """Summed in-worker time of the sharded GENPOT's per-slab tasks."""
         return float(sum(self.genpot_tasks))
+
+    @property
+    def overlap_occupancy(self) -> float:
+        """Useful fraction of the overlapped Gen_dens reduce's driver loop.
+
+        With the overlapped pipeline reduce (``overlap`` True) the driver
+        consumes fragment futures in order while the batch tail drains:
+        ``overlap_busy`` seconds went into the chunked tree-reduce under
+        still-running workers and ``overlap_wait`` seconds were spent
+        blocked on the next future.  This is their ratio — 0.0 when the
+        overlapped path did not run.
+        """
+        denom = self.overlap_busy + self.overlap_wait
+        return self.overlap_busy / denom if denom > 0 else 0.0
 
     @property
     def band_cpu(self) -> float:
@@ -402,6 +435,15 @@ class LS3DFSCF:
         through this driver's ``executor`` — bit-identical results for
         any shard count and backend — and the iteration timings count the
         per-slab work as parallel (see :class:`IterationTimings`).
+    genpot_overlap:
+        Stream the sharded GENPOT (resident slabs, fused stages, layout
+        conversion overlapped with compute; see
+        :mod:`repro.parallel.streaming`) and, on the pipeline paths,
+        consume fragment futures in order while the batch tail drains
+        instead of idling behind the whole batch.  Default on; purely a
+        scheduling choice — iterates are bit-identical with it on or
+        off — taking effect only where the executor offers the
+        ``submit_global`` / ``submit_pipeline_batch`` futures surface.
     band_groups:
         Number of band slices each fragment's all-band CG is distributed
         over — the local analogue of the paper's Np cores *per fragment
@@ -470,6 +512,7 @@ class LS3DFSCF:
         pipeline: bool = False,
         patch_chunk_size: int = 8,
         genpot_shards: int | None = None,
+        genpot_overlap: bool = True,
         band_groups: int | None = None,
         install_potentials: bool = True,
         sliced_nonlocal: bool = True,
@@ -510,8 +553,10 @@ class LS3DFSCF:
             mixer_options=mixer_options,
             shards=genpot_shards,
             executor=executor,
+            overlap=genpot_overlap,
         )
         self.genpot_shards = self.genpot.shards
+        self.genpot_overlap = self.genpot.overlap
         self.pipeline = bool(pipeline)
         if self.pipeline and not isinstance(executor, PipelineFragmentExecutor):
             raise TypeError(
@@ -671,6 +716,9 @@ class LS3DFSCF:
         )
         t.gen_vf = time.perf_counter() - t0
 
+        if self.genpot_overlap and hasattr(self.executor, "submit_pipeline_batch"):
+            return self._run_overlapped_pipeline_batch(tasks, t)
+
         # --- PEtot_F (fused): restrict + solve + contribute per worker.
         t0 = time.perf_counter()
         report = self.executor.run_pipeline(tasks)
@@ -686,6 +734,67 @@ class LS3DFSCF:
         # belong in this bucket, not in the PEtot_F wall time.
         t0 = time.perf_counter()
         density, frag_results = self._reduce_pipeline_results(report.results)
+        t.gen_dens = time.perf_counter() - t0
+        return density, frag_results
+
+    def _run_overlapped_pipeline_batch(
+        self, tasks: list, t: IterationTimings
+    ) -> tuple[np.ndarray, list[FragmentSolveResult]]:
+        """Consume a pipeline batch future-by-future, reducing under the tail.
+
+        The physical submissions are the same heaviest-first (optionally
+        stacked) units as :meth:`run_pipeline
+        <repro.parallel.executor._PoolFragmentExecutor.run_pipeline>` —
+        only the driver's schedule changes: instead of idling until the
+        whole batch returns, the chunked tree-reduce of Gen_dens consumes
+        each fragment's future as soon as it resolves.  The reduce walks
+        fragments in fragment order with the same ``patch_chunk_size``
+        chunking, so the summation tree — and hence every density bit —
+        matches the synchronous path exactly.
+        """
+        t.overlap = True
+        t0 = time.perf_counter()
+        futures = self.executor.submit_pipeline_batch(tasks)
+        results: list = [None] * len(tasks)
+        wait = [0.0]
+
+        def ordered_contributions():
+            for i, future in enumerate(futures):
+                tw = time.perf_counter()
+                p = future.result()
+                wait[0] += time.perf_counter() - tw
+                results[i] = p
+                yield (
+                    self.division.global_indices(
+                        self.fragments[i], interior_only=True
+                    ),
+                    p.contribution,
+                )
+
+        density = patch_contributions(
+            self.global_grid.shape,
+            ordered_contributions(),
+            chunk_size=self.patch_chunk_size,
+        )
+        wall = time.perf_counter() - t0
+        # The consume loop is PEtot_F as the outer loop sees it; its
+        # blocked/busy split is the overlap accounting (the busy part ran
+        # under still-working workers and leaves the serial residue).
+        t.petot_f = wall
+        t.overlap_wait = wait[0]
+        t.overlap_busy = max(wall - wait[0], 0.0)
+        t.petot_f_fragments = [p.wall_time for p in results]
+        t.petot_f_workers = getattr(self.executor, "n_workers", 1)
+        t.gen_vf_fragments = [p.gen_vf_time for p in results]
+        t.gen_dens_fragments = [p.gen_dens_time for p in results]
+
+        # --- Gen_dens residue: only the post-tail work remains serial.
+        t0 = time.perf_counter()
+        self.state_cache.update([p.result for p in results])
+        frag_results = [
+            FragmentSolver.result_from_task(f, p.result)
+            for f, p in zip(self.fragments, results)
+        ]
         t.gen_dens = time.perf_counter() - t0
         return density, frag_results
 
@@ -1135,6 +1244,9 @@ class LS3DFSCF:
                 t.genpot_driver = out.timings.driver
                 t.genpot_tasks = out.timings.task_times
                 t.genpot_sharded = out.timings.sharded
+                t.genpot_overlap = out.timings.overlap
+                t.genpot_wait = out.timings.wait
+                t.layout_conversion = out.timings.layout_conversion
             timings.append(t)
 
             quantum_energy = float(

@@ -306,6 +306,57 @@ def _kernel_mix_pointwise(task: GlobalStepTask):
     return task.mixer.mix_slab(task.data, task.aux), None
 
 
+def _kernel_rfft_planes(task: GlobalStepTask):
+    # Real-FFT forward over the z-axis of an x-slab: the first transform
+    # of numpy's rfftn order (rfft last axis, then fft the others).  The
+    # half spectrum (nz//2 + 1 planes) is what crosses the wire.
+    return fftcache.rfft(task.data, axis=2), None
+
+
+def _kernel_poisson_half_lines(task: GlobalStepTask):
+    # Middle stage of the real-FFT Poisson solve, on a half-spectrum
+    # z-slab where axes 0 and 1 are locally complete: finish rfftn's
+    # remaining transforms (axis 0, then 1 — numpy's order), apply the
+    # 4 pi / |G|^2 kernel on the half spectrum, and run irfftn's two
+    # local inverse transforms (axis 0, then 1).  One task instead of
+    # the complex path's two, and no full-spectrum exchange at all.
+    with fftcache.scratch(task.data.shape) as w:
+        a = fftcache.fft(task.data, axis=0, out=w)
+        a = np.fft.fft(a, axis=1)
+        g2 = task.aux
+        vg = np.zeros(a.shape, dtype=a.dtype)
+        nonzero = g2 > 1e-12
+        vg[nonzero] = FOUR_PI * a[nonzero] / g2[nonzero]
+        u = fftcache.ifft(vg, axis=0, out=w)
+        return np.fft.ifft(u, axis=1), None
+
+
+def _kernel_genpot_finish(task: GlobalStepTask):
+    # Fused final stage of the streaming GENPOT (PR 8): finish the
+    # inverse Poisson transform on this resident slab, add its XC slab,
+    # and start the mix — one task where the synchronous path pays a
+    # gather, two driver-side elementwise passes and a fresh scatter.
+    # ``aux`` is ``(v_xc_slab, v_in_slab_or_None)``; ``scalars`` may
+    # carry ``irfft_n`` (real-FFT path: the data slab is the half
+    # spectrum along z, to be inverse-real-transformed to ``irfft_n``
+    # planes) and ``residual`` (also return v_out - v_in, feeding a
+    # spectral mix); a pointwise ``mixer`` fuses the whole mix in.
+    v_xc, v_in = task.aux
+    n = int(task.scalars.get("irfft_n", 0))
+    if n:
+        v_es = fftcache.irfft(task.data, n=n, axis=2)
+    else:
+        with fftcache.scratch(task.data.shape) as w:
+            v_es = fftcache.ifft(task.data, axis=0, out=w).real.copy()
+    v_out = v_es + v_xc
+    extra = {"v_out": v_out}
+    if v_in is not None and task.scalars.get("residual"):
+        extra["resid"] = v_out - v_in
+    if task.mixer is not None and v_in is not None:
+        extra["v_next"] = task.mixer.mix_slab(v_in, v_out)
+    return v_es, extra
+
+
 _STEP_KERNELS = {
     "fft_planes": _kernel_fft_planes,
     "fft_lines": _kernel_fft_lines,
@@ -317,6 +368,9 @@ _STEP_KERNELS = {
     "ifft_lines_combine": _kernel_ifft_lines_combine,
     "xc": _kernel_xc,
     "mix_pointwise": _kernel_mix_pointwise,
+    "rfft_planes": _kernel_rfft_planes,
+    "poisson_half_lines": _kernel_poisson_half_lines,
+    "genpot_finish": _kernel_genpot_finish,
 }
 
 

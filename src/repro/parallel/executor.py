@@ -122,6 +122,87 @@ def _run_pipeline_unit(unit):
     return run_fragment_pipeline_task(unit)
 
 
+class _ImmediateFuture:
+    """A future that already completed: in-process backends run at submit.
+
+    The streaming GENPOT engine and the overlapped Gen_dens reduce drive
+    every backend through the same ``submit_*`` future surface; the
+    serial executor (and single-worker pools) resolve each submission
+    synchronously, so streaming degenerates to exactly the synchronous
+    task order — which is what keeps it bit-identical there.
+    """
+
+    def __init__(self, result=None, error: BaseException | None = None):
+        self._result = result
+        self._error = error
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout=None):
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def add_done_callback(self, fn) -> None:
+        fn(self)
+
+
+class _HealingFuture:
+    """Pool future wrapper that heals a missed potential install on resolve.
+
+    ``result()`` routes through the owning executor's ``_gather`` — the
+    same one-shot resubmission with the driver's payload attached that the
+    batch paths use — so futures-based submission keeps the install-once
+    machinery's failure mode covered.
+    """
+
+    def __init__(self, executor, future, task, kernel):
+        self._executor = executor
+        self._future = future
+        self._task = task
+        self._kernel = kernel
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def result(self, timeout=None):
+        return self._executor._gather(self._future, self._task, self._kernel)
+
+    def add_done_callback(self, fn) -> None:
+        self._future.add_done_callback(lambda _inner: fn(self))
+
+
+class _StackedMemberFuture:
+    """One fragment's slice of a stacked pipeline submission.
+
+    The PR 6 small-task stacking packs several fragments into one pool
+    submission; the streaming consumers want one future per fragment, so
+    each member resolves the shared unit future (healing included) and
+    picks out its own result.
+    """
+
+    def __init__(self, unit_future: "_HealingFuture", member: int):
+        self._unit_future = unit_future
+        self._member = member
+
+    def done(self) -> bool:
+        return self._unit_future.done()
+
+    def result(self, timeout=None):
+        return self._unit_future.result(timeout).results[self._member]
+
+    def add_done_callback(self, fn) -> None:
+        self._unit_future.add_done_callback(lambda _inner: fn(self))
+
+
+def _immediate(task, kernel) -> _ImmediateFuture:
+    try:
+        return _ImmediateFuture(result=kernel(task))
+    except Exception as exc:  # resolved, but carrying the kernel's error
+        return _ImmediateFuture(error=exc)
+
+
 def _resolve_worker_count(n_workers: int | None, nworkers: int | None) -> int:
     """Merge the ``n_workers`` spelling with the legacy ``nworkers`` one."""
     n = n_workers if n_workers is not None else nworkers
@@ -225,6 +306,22 @@ class SerialFragmentExecutor:
     def run_bands(self, tasks: Sequence[BandBlockTask]) -> ExecutionReport:
         """Run per-slice band-eigensolver tasks, one after another."""
         return self._execute(tasks, run_band_block_task)
+
+    def submit_global(self, task: GlobalStepTask) -> _ImmediateFuture:
+        """Submit one global-step task; resolves synchronously at submit.
+
+        The future surface of the streaming GENPOT engine: serially every
+        submission runs immediately in the calling process, so a stream
+        degenerates to the synchronous stage order (bit-identical by
+        construction) while the engine code stays backend-agnostic.
+        """
+        self._bump(1, 1)
+        return _immediate(task, run_global_step_task)
+
+    def submit_pipeline_batch(self, tasks: Sequence) -> list:
+        """Per-fragment futures for a pipeline batch (resolved at submit)."""
+        self._bump(len(tasks), len(tasks))
+        return [_immediate(t, run_fragment_pipeline_task) for t in tasks]
 
     def _execute(self, tasks: Sequence, kernel) -> ExecutionReport:
         t0 = time.perf_counter()
@@ -431,6 +528,63 @@ class _PoolFragmentExecutor:
         keeps grouped eigensolves bit-identical to single-worker ones.
         """
         return self._execute(tasks, run_band_block_task)
+
+    def submit_global(self, task: GlobalStepTask):
+        """Submit one global-step task to the pool; returns a future.
+
+        The streaming GENPOT engine issues per-slab stage tasks the
+        moment their inputs are assembled, instead of batching a whole
+        stage behind a scatter barrier; single-worker pools resolve
+        synchronously (the stream then replays the synchronous order).
+        """
+        self._bump(1, 1)
+        if self.n_workers == 1:
+            return _immediate(task, run_global_step_task)
+        future = self._ensure_pool().submit(run_global_step_task, task)
+        return _HealingFuture(self, future, task, run_global_step_task)
+
+    def submit_pipeline_batch(self, tasks: Sequence) -> list:
+        """Per-fragment futures for a pipeline batch (stacking preserved).
+
+        The overlapped Gen_dens reduce consumes fragments in order while
+        the batch tail is still draining; physical submissions are the
+        same heaviest-first (optionally stacked, PR 6) units as
+        :meth:`run_pipeline`, so the pool sees an identical schedule —
+        only the driver stops idling between the last submit and the
+        first reduce.
+        """
+        if self.n_workers == 1 or len(tasks) <= 1:
+            self._bump(len(tasks), len(tasks))
+            return [_immediate(t, run_fragment_pipeline_task) for t in tasks]
+        groups = [[i] for i in range(len(tasks))]
+        if self.stack_small_tasks and len(tasks) > 2:
+            packed = pack_stacks([t.cost() for t in tasks], self.n_workers)
+            if any(len(g) > 1 for g in packed):
+                groups = packed
+        self._bump(len(tasks), len(groups))
+        units: list = [
+            tasks[g[0]] if len(g) == 1 else StackedPipelineTask([tasks[i] for i in g])
+            for g in groups
+        ]
+        order = np.argsort([u.cost() for u in units])[::-1]
+        pool = self._ensure_pool()
+        unit_futures: dict[int, object] = {}
+        for i in order:
+            gi = int(i)
+            unit_futures[gi] = _HealingFuture(
+                self,
+                pool.submit(_run_pipeline_unit, units[gi]),
+                units[gi],
+                _run_pipeline_unit,
+            )
+        futures: list = [None] * len(tasks)
+        for gi, g in enumerate(groups):
+            if len(g) == 1:
+                futures[g[0]] = unit_futures[gi]
+            else:
+                for member, idx in enumerate(g):
+                    futures[idx] = _StackedMemberFuture(unit_futures[gi], member)
+        return futures
 
     def _gather(self, future, task, kernel):
         """Resolve one future, healing a missed potential install.

@@ -719,6 +719,16 @@ class RemoteExecutor:
         self._scheduler = FragmentScheduler()
         self._last_heartbeat = time.monotonic()
         self._partitions: dict[int, list["RemoteExecutor"]] = {}
+        # Streaming (futures-based) dispatch state: a shared work deque
+        # drained by one persistent thread per live worker, so per-slab
+        # GENPOT stages flow to workers the moment their inputs exist
+        # instead of in synchronous per-stage batches.
+        self._stream_lock = threading.Lock()
+        self._stream_cond = threading.Condition(self._stream_lock)
+        self._stream_queue: deque = deque()
+        self._stream_threads: dict[int, threading.Thread] = {}
+        self._stream_stop = False
+        self._stream_dead = False
 
     # -- bookkeeping ---------------------------------------------------
     @property
@@ -820,6 +830,123 @@ class RemoteExecutor:
     def run_bands(self, tasks: Sequence) -> ExecutionReport:
         """Run per-slice band-eigensolver tasks on the remote workers."""
         return self._execute(tasks, "bands")
+
+    # -- streaming (futures-based) dispatch ----------------------------
+    def submit_global(self, task):
+        """Submit one global-step task; returns a ``concurrent.futures``
+        future resolved by the persistent per-worker stream threads.
+
+        The streaming analogue of :meth:`run_global`: tasks enter a
+        shared deque the moment the driver submits them and are drained
+        by one thread per live worker, so slab stages overlap with the
+        driver's layout conversion exactly like the paper's isend/irecv-
+        under-compute.  The failure model matches the batch path — a
+        worker that dies mid-task is marked dead, its task is requeued
+        for the survivors (``resubmissions``), and with no survivors
+        left the queue drains through the local fallback executor.
+        """
+        return self._submit_stream(task, "global")
+
+    def submit_pipeline_batch(self, tasks: Sequence) -> list:
+        """Per-fragment futures for a pipeline batch (heaviest-first)."""
+        costs = [float(getattr(t, "cost", lambda: 1.0)()) for t in tasks]
+        order = np.argsort(costs)[::-1]
+        futures: list = [None] * len(tasks)
+        for i in order:
+            futures[int(i)] = self._submit_stream(tasks[int(i)], "pipeline")
+        return futures
+
+    def _submit_stream(self, task, kind: str):
+        from concurrent.futures import Future
+
+        self._bump(1, 1)
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        with self._stream_cond:
+            if not self._stream_dead:
+                self._ensure_stream_threads()
+            if self._stream_dead:
+                self._resolve_locally(task, kind, future)
+                return future
+            self._stream_queue.append((task, kind, future))
+            self._stream_cond.notify()
+        return future
+
+    def _ensure_stream_threads(self) -> None:
+        """Start one drain thread per live worker (caller holds the lock)."""
+        for handle in self._live_handles():
+            key = id(handle)
+            thread = self._stream_threads.get(key)
+            if thread is not None and thread.is_alive():
+                continue
+            thread = threading.Thread(
+                target=self._stream_drain, args=(handle,), daemon=True
+            )
+            self._stream_threads[key] = thread
+            thread.start()
+        if not self._stream_threads:
+            self._stream_dead = True
+
+    def _stream_drain(self, handle: _WorkerHandle) -> None:
+        while True:
+            with self._stream_cond:
+                while not self._stream_queue and not self._stream_stop:
+                    self._stream_cond.wait(0.2)
+                if not self._stream_queue:
+                    return
+                item = self._stream_queue.popleft()
+            task, kind, future = item
+            try:
+                result = self._run_one(handle, task, kind)
+            except (OSError, ConnectionError, WorkerDiedError, RemoteProtocolError):
+                handle.mark_dead()
+                self._count("workers_lost")
+                self._count("resubmissions")
+                leftovers: list = []
+                with self._stream_cond:
+                    self._stream_queue.appendleft(item)
+                    self._stream_threads.pop(id(handle), None)
+                    survivors = any(
+                        t.is_alive() for t in self._stream_threads.values()
+                    )
+                    if survivors:
+                        self._stream_cond.notify_all()
+                    else:
+                        self._stream_dead = True
+                        leftovers = list(self._stream_queue)
+                        self._stream_queue.clear()
+                for task, kind, future in leftovers:
+                    self._resolve_locally(task, kind, future)
+                return
+            except Exception as exc:
+                future.set_exception(exc)
+                continue
+            future.set_result(result)
+
+    def _resolve_locally(self, task, kind: str, future) -> None:
+        """Bottom of the streaming ladder: run one task on the fallback."""
+        fallback = self._fallback_executor()
+        if fallback is None:
+            future.set_exception(
+                NoRemoteWorkersError(
+                    f"no remote worker answered for a streamed {kind} task "
+                    f"and the local fallback is disabled"
+                )
+            )
+            return
+        self._count("degraded_tasks")
+        runner = {
+            "solve": fallback.run,
+            "pipeline": fallback.run_pipeline,
+            "global": fallback.run_global,
+            "bands": fallback.run_bands,
+        }[kind]
+        try:
+            report = runner([task])
+        except Exception as exc:
+            future.set_exception(exc)
+            return
+        future.set_result(report.results[0])
 
     # -- dispatch ------------------------------------------------------
     def _execute(self, tasks: Sequence, kind: str) -> ExecutionReport:
@@ -984,6 +1111,12 @@ class RemoteExecutor:
             child._scheduler = FragmentScheduler()
             child._last_heartbeat = time.monotonic()
             child._partitions = {}
+            child._stream_lock = threading.Lock()
+            child._stream_cond = threading.Condition(child._stream_lock)
+            child._stream_queue = deque()
+            child._stream_threads = {}
+            child._stream_stop = False
+            child._stream_dead = False
             children.append(child)
         self._partitions[ngroups] = children
         return children
@@ -1006,6 +1139,9 @@ class RemoteExecutor:
     def close(self) -> None:
         """Close every connection (workers keep running; see
         :meth:`shutdown_workers`)."""
+        with self._stream_cond:
+            self._stream_stop = True
+            self._stream_cond.notify_all()
         for handle in self._handles:
             handle.close()
         for children in self._partitions.values():

@@ -118,6 +118,7 @@ class Hamiltonian:
         self.counter = ApplyCounter()
         self.nonlocal_block = default_nonlocal_block()
         self._projectors_conj: np.ndarray | None = None
+        self._projectors_t: np.ndarray | None = None
         self._default_preconditioner: np.ndarray | None = None
 
     # -- construction ----------------------------------------------------
@@ -226,10 +227,17 @@ class Hamiltonian:
         strengths = self.projector_strengths[:, None]
         if self._projectors_conj is None:
             self._projectors_conj = self.projectors.conj()
+        if self._projectors_t is None:
+            # ``projectors.T`` is an F-contiguous view; BLAS then runs the
+            # back-projection GEMM in transposed mode.  Cache a C-contiguous
+            # copy once so both GEMM operands are contiguous (the ROADMAP
+            # "below numpy" item; measured by tools/profile_hot_paths.py).
+            self._projectors_t = np.ascontiguousarray(self.projectors.T)
+        projectors_t = self._projectors_t
         blk = int(self.nonlocal_block or 0)
         if blk <= 0:
             beta = self._projectors_conj @ c.T  # (nproj, nbands)
-            out += (self.projectors.T @ (strengths * beta)).T
+            out += (projectors_t @ (strengths * beta)).T
         elif m:
             npw = self.basis.npw
             cblk = np.empty((npw, blk), dtype=complex)
@@ -244,7 +252,7 @@ class Hamiltonian:
                     cblk.fill(0)
                 cblk[:, cols] = c[rows].T
                 beta = self._projectors_conj @ cblk  # (nproj, blk)
-                nl = self.projectors.T @ (strengths * beta)  # (npw, blk)
+                nl = projectors_t @ (strengths * beta)  # (npw, blk)
                 out[rows] += nl[:, cols].T
         self.counter.add(
             n_projector_flops=16.0 * self.nproj * self.basis.npw * m

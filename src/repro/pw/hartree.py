@@ -42,6 +42,18 @@ def hartree_potential(density: np.ndarray, grid: FFTGrid) -> np.ndarray:
         raise ValueError("density shape does not match grid")
     g2 = grid.g2
     nonzero = poisson_nonzero_mask(grid)
+    if fftcache.real_fft_enabled() and not np.iscomplexobj(density):
+        # Real-FFT path (REPRO_REAL_FFT): the density is real, so the
+        # half-spectrum rfftn carries the full information at half the
+        # transform work.  Mathematically identical to the complex path
+        # but not bit-identical, hence opt-in.
+        half = g2.shape[2] // 2 + 1
+        rho_g = fftcache.rfftn(density)
+        g2h = g2[:, :, :half]
+        vg = np.zeros(rho_g.shape, dtype=rho_g.dtype)
+        mask = nonzero[:, :, :half]
+        vg[mask] = FOUR_PI * rho_g[mask] / g2h[mask]
+        return fftcache.irfftn(vg, s=grid.shape)
     # Workspace-pooled transforms: identical operations on reused buffers,
     # bit-identical to the allocating path (fftcache module docstring).
     with fftcache.scratch(grid.shape) as w1, fftcache.scratch(grid.shape) as w2:
@@ -67,8 +79,12 @@ def poisson_residual(potential: np.ndarray, density: np.ndarray, grid: FFTGrid) 
     """
     if potential.shape != grid.shape or density.shape != grid.shape:
         raise ValueError("shape mismatch")
-    vg = np.fft.fftn(potential)
-    lap = np.fft.ifftn(-grid.g2 * vg)
+    # Pooled-workspace transforms like the solver path above; the raw
+    # np.fft calls here used to bypass the PR 6 workspace pool.
+    with fftcache.scratch(grid.shape) as w1, fftcache.scratch(grid.shape) as w2:
+        vg = fftcache.fftn(potential, out=w1)
+        np.multiply(-grid.g2, vg, out=w2)
+        lap = fftcache.ifftn(w2, out=w1).copy()
     rho_avg = np.mean(density)
     resid = np.real(lap) + FOUR_PI * (density - rho_avg)
     return float(np.sqrt(np.sum(np.abs(resid) ** 2) * grid.dvol))

@@ -216,7 +216,7 @@ def test_custom_mixer_defaults_to_serial_sharding(grid, fields):
 # Sharded GENPOT evaluation
 
 
-def _make_solver(grid, mixer, shards=None, executor=None):
+def _make_solver(grid, mixer, shards=None, executor=None, overlap=True):
     structure = cscl_binary((1, 1, 1), "Zn", "O", 6.0)
     return GlobalPotentialSolver(
         structure,
@@ -225,6 +225,7 @@ def _make_solver(grid, mixer, shards=None, executor=None):
         mixer=mixer,
         shards=shards,
         executor=executor,
+        overlap=overlap,
     )
 
 
@@ -273,15 +274,21 @@ def test_sharded_genpot_backend_equivalence(grid, fields):
 def test_one_submission_per_slab_accounting(grid, fields):
     """Every sharded stage is exactly one executor submission per slab.
 
-    Stage counts per evaluation: the Poisson solve is 4 slab stages
-    (forward planes, kernelled lines, inverse planes, real lines), XC is
-    1, and the mix is 4 (spectral), 1 (pointwise) or 0 (serial fallback).
+    Synchronous (overlap=False) stage counts: the Poisson solve is 4 slab
+    stages (forward planes, kernelled lines, inverse planes, real lines),
+    XC is 1, and the mix is 4 (spectral), 1 (pointwise) or 0 (serial
+    fallback).  Streaming (the default) fuses the real-lines stage, the
+    XC add and a pointwise mix into one ``genpot_finish`` task: the
+    Poisson chain is 4 stages with XC's 1 alongside, plus 4 for a
+    spectral mix (a pointwise mix rides the finish stage for free).
     """
     rho, v_in, _ = fields
     shards = 3
     for mixer, stages in (("kerker", 9), ("linear", 6), ("anderson", 5)):
         executor = SerialFragmentExecutor()
-        solver = _make_solver(grid, mixer, shards=shards, executor=executor)
+        solver = _make_solver(
+            grid, mixer, shards=shards, executor=executor, overlap=False
+        )
         out = solver.evaluate(rho, v_in)
         assert executor.tasks_submitted == stages * shards
         assert len(out.timings.task_times) == stages * shards
@@ -289,6 +296,13 @@ def test_one_submission_per_slab_accounting(grid, fields):
         # A second evaluation submits exactly the same number again.
         solver.evaluate(rho, v_in)
         assert executor.tasks_submitted == 2 * stages * shards
+    for mixer, stages in (("kerker", 9), ("linear", 5), ("anderson", 5)):
+        executor = SerialFragmentExecutor()
+        solver = _make_solver(grid, mixer, shards=shards, executor=executor)
+        out = solver.evaluate(rho, v_in)
+        assert out.timings.overlap
+        assert executor.tasks_submitted == stages * shards
+        assert len(out.timings.task_times) == stages * shards
 
 
 def test_genpot_shards_validation(grid):

@@ -22,6 +22,8 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-worker = repro.parallel.remote:worker_main",
+            "repro-serve = repro.store.server:serve_main",
+            "repro-submit = repro.store.client:client_main",
         ],
     },
     extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},

@@ -1042,6 +1042,7 @@ class LS3DFSCF:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 1,
         resume: bool = False,
+        event_hook: Callable[[str, dict], None] | None = None,
     ) -> LS3DFResult:
         """Run the LS3DF outer loop.
 
@@ -1092,6 +1093,16 @@ class LS3DFSCF:
             the directory holds no checkpoint yet, the run simply starts
             fresh (so a kill-and-rerun workflow can always pass
             ``resume=True``).
+        event_hook:
+            Optional ``event_hook(kind, data)`` called alongside the
+            checkpoint hooks — the emission channel of the run store
+            (:mod:`repro.store`).  Emitted kinds: ``"iteration"`` after
+            every completed outer iteration (``iteration``,
+            ``potential_difference``, ``energy``, ``converged``) and
+            ``"checkpointed"`` after every checkpoint save
+            (``iteration``).  A hook exception fails the run loudly — a
+            run whose durable record cannot be written must not continue
+            silently.
 
         Returns
         -------
@@ -1262,6 +1273,18 @@ class LS3DFSCF:
             energy_history.append(total_energy)
             if callback is not None:
                 callback(iteration, out.potential_difference, total_energy)
+            if event_hook is not None:
+                event_hook(
+                    "iteration",
+                    {
+                        "iteration": int(iteration),
+                        "potential_difference": float(out.potential_difference),
+                        "energy": float(total_energy),
+                        "converged": bool(
+                            out.potential_difference < potential_tolerance
+                        ),
+                    },
+                )
             if verbose:  # pragma: no cover - logging
                 print(
                     f"LS3DF {iteration:3d}: |Vout-Vin| = {out.potential_difference:.3e}"
@@ -1303,6 +1326,8 @@ class LS3DFSCF:
                 # and are kept.
                 clear_partial_payloads(checkpoint_path, up_to_iteration=iteration)
                 t.checkpoint_io += time.perf_counter() - t0
+                if event_hook is not None:
+                    event_hook("checkpointed", {"iteration": int(iteration)})
 
         # A converged iteration breaks out before the checkpoint block, so
         # its mid-iteration partials would otherwise outlive the run; the

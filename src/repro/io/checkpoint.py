@@ -54,13 +54,12 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
-from repro.io.gridio import write_npz_atomic
+from repro.io.gridio import write_npz_atomic, write_text_atomic
 
 CHECKPOINT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
@@ -217,10 +216,10 @@ def save_checkpoint(directory: str | Path, checkpoint: SCFCheckpoint) -> Path:
         "nfragments_cached": len(checkpoint.fragment_coefficients),
         "payload": payload_name,
     }
-    manifest_path = directory / MANIFEST_NAME
-    tmp = directory / (MANIFEST_NAME + ".tmp")
-    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    os.replace(tmp, manifest_path)
+    manifest_path = write_text_atomic(
+        directory / MANIFEST_NAME,
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+    )
 
     # Prune earlier payloads and any .tmp orphans a mid-save kill left
     # behind (the atomic writer's cleanup cannot run when the process
@@ -434,9 +433,10 @@ def save_partial_payload(
             "division_signature": division_signature,
             "state_fingerprint": state_fingerprint,
         }
-        tmp = pdir / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(fresh, indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, pdir / MANIFEST_NAME)
+        write_text_atomic(
+            pdir / MANIFEST_NAME,
+            json.dumps(fresh, indent=2, sort_keys=True) + "\n",
+        )
     payload_path = pdir / _partial_payload_name(label)
     write_npz_atomic(payload_path, **arrays)
     return payload_path

@@ -1,0 +1,63 @@
+"""SCF-as-a-service: the event-sourced run store and job daemon.
+
+Every LS3DF solve handled by this layer is a first-class persistent
+object — an append-only *event stream* (``submitted -> scheduled ->
+iteration(k) -> checkpointed -> converged | failed``) on disk, with a
+snapshot index for O(1) catch-up, advisory file locking for concurrent
+writers, and content-addressed problem signatures as dedup keys: two
+clients submitting the identical problem attach to one in-flight solve
+and both stream its events.
+
+Layers (bottom up):
+
+* :mod:`repro.store.events` — the record format: checksummed,
+  newline-framed JSON events whose torn tails are detectable.
+* :mod:`repro.store.lock` — advisory file locks
+  (:class:`~repro.store.lock.FileLock`) serialising concurrent writers.
+* :mod:`repro.store.stream` — :class:`~repro.store.stream.EventStream`,
+  one run's append-only log + ``head.json`` snapshot, crash-safe via
+  the :func:`repro.io.gridio.write_npz_atomic`-grade durable writers.
+* :mod:`repro.store.index` — the store-wide registry mapping problem
+  signatures to run ids.
+* :mod:`repro.store.dedup` — serialisable problem specs, solver
+  construction and the content-addressed signature.
+* :mod:`repro.store.store` — :class:`~repro.store.store.RunStore`, the
+  facade tying streams, index, locks and dedup together.
+* :mod:`repro.store.server` / :mod:`repro.store.client` — the
+  ``repro-serve`` daemon (socket protocol on the ``RPW1`` framing of
+  :mod:`repro.parallel.remote`) and the ``repro-submit`` client/CLI.
+"""
+
+from repro.store.dedup import build_solver, canonical_spec, problem_signature
+from repro.store.events import (
+    EVENT_KINDS,
+    TERMINAL_KINDS,
+    Event,
+    TornRecordError,
+    decode_record,
+    encode_record,
+)
+from repro.store.index import StoreIndex
+from repro.store.lock import FileLock, LockTimeoutError
+from repro.store.store import RunStore, SubmitReceipt
+from repro.store.stream import AppendFaultPlan, EventStream, KilledAppend
+
+__all__ = [
+    "EVENT_KINDS",
+    "TERMINAL_KINDS",
+    "AppendFaultPlan",
+    "Event",
+    "EventStream",
+    "FileLock",
+    "KilledAppend",
+    "LockTimeoutError",
+    "RunStore",
+    "StoreIndex",
+    "SubmitReceipt",
+    "TornRecordError",
+    "build_solver",
+    "canonical_spec",
+    "decode_record",
+    "encode_record",
+    "problem_signature",
+]

@@ -1,0 +1,91 @@
+"""The store-wide registry: problem signature -> run id.
+
+One JSON file (``index.json``) at the store root maps every known
+problem signature to its run id and records submission metadata.  It is
+a *cache over the streams* — each run's ``spec.json`` + ``submitted``
+event carry the same facts — so a lost index could be rebuilt by
+scanning run directories; but in normal operation the index is what
+makes dedup O(1): a submit looks its signature up here instead of
+replaying every stream.
+
+All mutation happens under the store root's :class:`~repro.store.lock.FileLock`
+(held by :class:`~repro.store.store.RunStore`, not here), and every
+rewrite goes through :func:`repro.io.gridio.write_text_atomic`, so a
+kill mid-registration leaves either the old or the new index — never a
+truncated one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.io.gridio import write_text_atomic
+
+__all__ = ["StoreIndex"]
+
+INDEX_NAME = "index.json"
+_FORMAT = "repro-store-index"
+
+
+class StoreIndex:
+    """Signature -> run-id registry of one store root.
+
+    Parameters
+    ----------
+    root:
+        The store root directory.
+
+    Notes
+    -----
+    The index does no locking of its own: callers that mutate it must
+    hold the store root lock (``RunStore`` does).  Reads are safe at any
+    time because rewrites are atomic replaces.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.path = self.root / INDEX_NAME
+
+    def _load(self) -> dict:
+        if not self.path.is_file():
+            return {"format": _FORMAT, "runs": {}}
+        data = json.loads(self.path.read_text())
+        if data.get("format") != _FORMAT:
+            raise ValueError(f"{self.path} is not a {_FORMAT} file")
+        return data
+
+    def lookup(self, signature: str) -> str | None:
+        """Run id already registered for ``signature``, or None."""
+        for run_id, entry in self._load()["runs"].items():
+            if entry.get("signature") == signature:
+                return run_id
+        return None
+
+    def register(self, run_id: str, signature: str, ts: float) -> None:
+        """Record a new run (caller holds the store root lock).
+
+        Parameters
+        ----------
+        run_id:
+            The run's id (also its directory name under ``runs/``).
+        signature:
+            The content-addressed problem signature.
+        ts:
+            Submission wall-clock timestamp.
+        """
+        data = self._load()
+        existing = data["runs"].get(run_id)
+        if existing is not None and existing.get("signature") != signature:
+            raise ValueError(
+                f"run id {run_id} already registered with a different signature"
+            )
+        data["runs"][run_id] = {"signature": signature, "submitted_ts": float(ts)}
+        write_text_atomic(
+            self.path, json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+
+    def run_ids(self) -> list[str]:
+        """All registered run ids, oldest submission first."""
+        runs = self._load()["runs"]
+        return sorted(runs, key=lambda rid: runs[rid].get("submitted_ts", 0.0))

@@ -1,0 +1,209 @@
+"""The run store facade: submit-with-dedup, queries, and run layout.
+
+A store root looks like::
+
+    <root>/
+        store.lock            # serialises submits / index registration
+        index.json            # signature -> run id registry
+        runs/
+            run-<sig16>/
+                spec.json     # the canonical problem spec
+                events.log    # the run's event stream (stream.py)
+                head.json     # snapshot index
+                stream.lock
+                payload-*.npz
+                checkpoint/   # LS3DFSCF checkpoints (repro.io.checkpoint)
+
+:class:`RunStore` is deliberately daemon-free: it is the persistence
+layer both the ``repro-serve`` daemon and offline tools share.  Two
+*processes* holding the same root cooperate purely through the file
+locks — which is exactly what the crash/concurrency battery in
+``tests/test_store.py`` exercises.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.io.gridio import write_text_atomic
+from repro.store.dedup import canonical_spec, problem_signature
+from repro.store.events import TERMINAL_KINDS, Event
+from repro.store.index import StoreIndex
+from repro.store.lock import FileLock
+from repro.store.stream import EventStream
+
+__all__ = ["RunStore", "SubmitReceipt"]
+
+SPEC_NAME = "spec.json"
+ROOT_LOCK_NAME = "store.lock"
+RUNS_DIR = "runs"
+
+
+@dataclass(frozen=True)
+class SubmitReceipt:
+    """What a client gets back from :meth:`RunStore.submit`.
+
+    Attributes
+    ----------
+    run_id:
+        The run the submission landed on (new or existing).
+    signature:
+        The spec's content-addressed problem signature.
+    attached:
+        False when this submit created the run; True when it
+        deduplicated onto an existing stream (an ``attached`` event was
+        appended instead of a new run being born).
+    """
+
+    run_id: str
+    signature: str
+    attached: bool
+
+
+class RunStore:
+    """Event-sourced store of LS3DF runs under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Store root (created on first use).
+    lock_timeout:
+        Seconds to wait for the root / stream locks.
+    """
+
+    def __init__(self, root: str | Path, lock_timeout: float = 30.0) -> None:
+        self.root = Path(root)
+        self.lock_timeout = float(lock_timeout)
+
+    # -- layout --------------------------------------------------------
+    @property
+    def runs_root(self) -> Path:
+        """Directory holding one subdirectory per run."""
+        return self.root / RUNS_DIR
+
+    def run_dir(self, run_id: str) -> Path:
+        """A run's directory (existence not checked)."""
+        return self.runs_root / run_id
+
+    def checkpoint_dir(self, run_id: str) -> Path:
+        """Where a run's SCF checkpoints live."""
+        return self.run_dir(run_id) / "checkpoint"
+
+    def stream(self, run_id: str) -> EventStream:
+        """The run's event stream."""
+        return EventStream(self.run_dir(run_id), lock_timeout=self.lock_timeout)
+
+    def _root_lock(self) -> FileLock:
+        return FileLock(self.root / ROOT_LOCK_NAME, timeout=self.lock_timeout)
+
+    # -- write side ----------------------------------------------------
+    def submit(self, spec: dict, client: str = "anonymous") -> SubmitReceipt:
+        """Submit a problem, deduplicating on its signature.
+
+        Under the store root lock: if the signature is already
+        registered, append an ``attached`` event to the existing run's
+        stream and report ``attached=True``; otherwise create the run
+        directory, persist ``spec.json``, append the ``submitted``
+        event, and register the signature in the index — in that order,
+        so a kill at any point leaves either a complete, indexed run or
+        an unindexed directory the next identical submit simply reuses.
+
+        Parameters
+        ----------
+        spec:
+            Problem spec (see :func:`repro.store.dedup.canonical_spec`).
+        client:
+            Free-form client label recorded in the event.
+
+        Returns
+        -------
+        SubmitReceipt
+        """
+        spec = canonical_spec(spec)
+        signature = problem_signature(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self._root_lock():
+            index = StoreIndex(self.root)
+            existing = index.lookup(signature)
+            if existing is not None:
+                self.stream(existing).append(
+                    "attached", {"client": client, "signature": signature}
+                )
+                return SubmitReceipt(
+                    run_id=existing, signature=signature, attached=True
+                )
+            run_id = f"run-{signature[:16]}"
+            rdir = self.run_dir(run_id)
+            rdir.mkdir(parents=True, exist_ok=True)
+            write_text_atomic(
+                rdir / SPEC_NAME,
+                json.dumps(spec, indent=2, sort_keys=True) + "\n",
+            )
+            self.stream(run_id).append(
+                "submitted", {"client": client, "signature": signature}
+            )
+            index.register(run_id, signature, ts=time.time())
+            return SubmitReceipt(run_id=run_id, signature=signature, attached=False)
+
+    # -- read side -----------------------------------------------------
+    def run_ids(self) -> list[str]:
+        """All known runs, oldest first."""
+        return StoreIndex(self.root).run_ids()
+
+    def spec(self, run_id: str) -> dict:
+        """A run's persisted canonical spec."""
+        return json.loads((self.run_dir(run_id) / SPEC_NAME).read_text())
+
+    def read_head(self, run_id: str) -> dict:
+        """The run's folded status snapshot — never touches payloads."""
+        return self.stream(run_id).read_head()
+
+    def events(self, run_id: str, since_seq: int = 0) -> list[Event]:
+        """The run's events with ``seq >= since_seq``."""
+        return self.stream(run_id).replay(since_seq=since_seq)
+
+    def pending_runs(self) -> list[str]:
+        """Runs whose streams are not terminal — the daemon's restart queue."""
+        return [
+            run_id
+            for run_id in self.run_ids()
+            if self.read_head(run_id)["status"] not in TERMINAL_KINDS
+        ]
+
+    def result(self, run_id: str) -> dict | None:
+        """A finished run's result arrays + scalars, or None if still going.
+
+        Returns
+        -------
+        dict | None
+            ``{"density": ndarray, "potential": ndarray, "energy": float,
+            "converged": bool, "iterations": int}`` loaded from the
+            ``converged`` event's payload; None while the run is not
+            terminal; raises on a ``failed`` run.
+        """
+        stream = self.stream(run_id)
+        head = stream.read_head()
+        if head["status"] == "failed":
+            raise RuntimeError(f"run {run_id} failed: {head.get('error')}")
+        if head["status"] != "converged" or head.get("result_payload") is None:
+            return None
+        event = Event(
+            seq=int(head["seq"]),
+            kind="converged",
+            ts=float(head.get("updated_ts", 0.0)),
+            data={},
+            payload=head["result_payload"],
+        )
+        arrays = stream.load_payload(event)
+        return {
+            "density": arrays["density"],
+            "potential": arrays["potential"],
+            "energy": float(np.asarray(arrays["energy"])),
+            "converged": bool(head.get("converged", True)),
+            "iterations": int(head.get("iteration", 0)),
+        }

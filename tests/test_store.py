@@ -1,0 +1,586 @@
+"""Crash/concurrency battery for the event-sourced run store.
+
+Three families of proof:
+
+* **Durability unit tests** — the record framing round-trips and every
+  torn-byte prefix is detected; ``write_npz_atomic`` /
+  ``write_text_atomic`` follow the full tmp-write -> fsync(file) ->
+  rename -> fsync(directory) sequence (the rename itself lives in the
+  directory entry table, so skipping the directory fsync can lose the
+  *name* of a perfectly synced file).
+* **Kill-mid-append** — a fault-injecting append dies after an exact
+  byte count; replay must land on the last consistent snapshot, the
+  next locked append must truncate the torn tail and continue with a
+  contiguous sequence, and ``read_head`` must absorb the
+  stale-snapshot window.
+* **Multi-process contention** — two real writer processes hammer one
+  stream's lock (no lost, duplicated or reordered events), and two
+  concurrent submits of one problem signature produce exactly one run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.io.gridio as gridio
+from repro.io.gridio import write_npz_atomic, write_text_atomic
+from repro.store import (
+    AppendFaultPlan,
+    Event,
+    EventStream,
+    FileLock,
+    KilledAppend,
+    LockTimeoutError,
+    RunStore,
+    StoreIndex,
+    TornRecordError,
+    canonical_spec,
+    decode_record,
+    encode_record,
+    problem_signature,
+)
+from repro.store.stream import StoreCorruptionError
+
+SPEC = {
+    "builder": "cscl_binary",
+    "builder_args": {"dims": [1, 1, 1], "cation": "Zn", "anion": "O",
+                     "lattice_constant": 6.0},
+    "solver": {"grid_dims": [1, 1, 1], "ecut": 2.0, "n_empty": 1,
+               "mixer": "linear"},
+    "run": {"max_iterations": 2, "potential_tolerance": 1e-9,
+            "eigensolver_tolerance": 1e-4, "eigensolver_iterations": 40},
+}
+
+
+def _event(seq: int, kind: str = "iteration", **data) -> Event:
+    return Event(seq=seq, kind=kind, ts=123.25, data=data)
+
+
+# ---------------------------------------------------------------------------
+# Record framing
+# ---------------------------------------------------------------------------
+
+
+class TestRecordFormat:
+    def test_roundtrip(self):
+        event = _event(3, "iteration", iteration=3, potential_difference=0.5)
+        assert decode_record(encode_record(event)) == event
+
+    def test_payload_roundtrip(self):
+        event = Event(seq=0, kind="converged", ts=1.0, data={"energy": -1.5},
+                      payload="payload-000000.npz")
+        assert decode_record(encode_record(event)).payload == "payload-000000.npz"
+
+    @pytest.mark.parametrize("cut", [0, 3, 5, 12, 22, 30])
+    def test_every_torn_prefix_is_detected(self, cut):
+        record = encode_record(_event(0, iteration=1))
+        assert cut < len(record)
+        with pytest.raises(TornRecordError):
+            decode_record(record[:cut])
+
+    def test_missing_newline_detected(self):
+        record = encode_record(_event(0))
+        with pytest.raises(TornRecordError, match="newline"):
+            decode_record(record[:-1])
+
+    def test_flipped_body_byte_fails_checksum(self):
+        record = bytearray(encode_record(_event(0, iteration=7)))
+        record[-3] ^= 0x01
+        with pytest.raises(TornRecordError, match="checksum|JSON"):
+            decode_record(bytes(record))
+
+    def test_bad_magic_detected(self):
+        record = b"XXX1" + encode_record(_event(0))[4:]
+        with pytest.raises(TornRecordError, match="magic"):
+            decode_record(record)
+
+
+# ---------------------------------------------------------------------------
+# File lock
+# ---------------------------------------------------------------------------
+
+
+class TestFileLock:
+    def test_context_manager_and_reacquire(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock")
+        with lock:
+            assert lock.held
+        assert not lock.held
+        with lock:
+            assert lock.held
+
+    def test_second_holder_times_out(self, tmp_path):
+        first = FileLock(tmp_path / "x.lock").acquire()
+        try:
+            second = FileLock(tmp_path / "x.lock", timeout=0.2)
+            start = time.monotonic()
+            with pytest.raises(LockTimeoutError):
+                second.acquire()
+            assert time.monotonic() - start >= 0.15
+        finally:
+            first.release()
+
+    def test_release_unblocks_waiter(self, tmp_path):
+        first = FileLock(tmp_path / "x.lock").acquire()
+        acquired = threading.Event()
+
+        def waiter():
+            with FileLock(tmp_path / "x.lock", timeout=5.0):
+                acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        first.release()
+        thread.join(timeout=5.0)
+        assert acquired.is_set()
+
+    def test_double_acquire_is_an_error(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock").acquire()
+        try:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+        finally:
+            lock.release()
+
+    def test_release_is_idempotent(self, tmp_path):
+        lock = FileLock(tmp_path / "x.lock").acquire()
+        lock.release()
+        lock.release()
+
+
+# ---------------------------------------------------------------------------
+# Durable writers (satellite: directory fsync after rename)
+# ---------------------------------------------------------------------------
+
+
+class _FsyncRecorder:
+    """Traces the fsync/replace sequence beneath the atomic writers."""
+
+    def __init__(self, monkeypatch, directory: Path):
+        self.calls: list[tuple] = []
+        self.directory = Path(directory)
+        real_fsync, real_replace = os.fsync, os.replace
+        real_open = os.open
+
+        def traced_open(path, flags, *a, **k):
+            fd = real_open(path, flags, *a, **k)
+            if Path(path) == self.directory:
+                self.dir_fds.add(fd)
+            return fd
+
+        def traced_fsync(fd):
+            self.calls.append(("fsync_dir" if fd in self.dir_fds else "fsync_file",))
+            real_fsync(fd)
+
+        def traced_replace(src, dst):
+            self.calls.append(("replace", str(src), str(dst)))
+            real_replace(src, dst)
+
+        self.dir_fds: set[int] = set()
+        monkeypatch.setattr(os, "open", traced_open)
+        monkeypatch.setattr(os, "fsync", traced_fsync)
+        monkeypatch.setattr(os, "replace", traced_replace)
+
+    @property
+    def kinds(self) -> list[str]:
+        return [c[0] for c in self.calls]
+
+
+class TestAtomicWriters:
+    def test_npz_fsync_rename_dirsync_sequence(self, tmp_path, monkeypatch):
+        rec = _FsyncRecorder(monkeypatch, tmp_path)
+        target = tmp_path / "state.npz"
+        write_npz_atomic(target, rho=np.arange(6.0).reshape(2, 3))
+        # The exact durability ladder: file flushed+fsynced, renamed into
+        # place, then the *directory* fsynced (the rename lives there).
+        assert rec.kinds == ["fsync_file", "replace", "fsync_dir"]
+        replace = rec.calls[1]
+        assert replace[2] == str(target)
+        assert replace[1] != replace[2] and replace[1].startswith(str(tmp_path))
+        with np.load(target) as data:
+            np.testing.assert_array_equal(data["rho"], np.arange(6.0).reshape(2, 3))
+        assert [p.name for p in tmp_path.iterdir()] == ["state.npz"]  # no tmp left
+
+    def test_text_fsync_rename_dirsync_sequence(self, tmp_path, monkeypatch):
+        rec = _FsyncRecorder(monkeypatch, tmp_path)
+        target = write_text_atomic(tmp_path / "head.json", '{"seq": 1}\n')
+        assert rec.kinds == ["fsync_file", "replace", "fsync_dir"]
+        assert target.read_text() == '{"seq": 1}\n'
+        assert [p.name for p in tmp_path.iterdir()] == ["head.json"]
+
+    def test_fsync_directory_tolerates_missing_dir(self, tmp_path):
+        gridio.fsync_directory(tmp_path / "nope")  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Event stream: append / replay / snapshot catch-up
+# ---------------------------------------------------------------------------
+
+
+class TestEventStream:
+    def test_append_replay_roundtrip(self, tmp_path):
+        stream = EventStream(tmp_path / "run")
+        stream.append("submitted", {"client": "a"})
+        stream.append("scheduled", {"resumed": False})
+        stream.append("iteration", {"iteration": 1, "potential_difference": 0.5,
+                                    "energy": -1.0})
+        events = stream.replay()
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert [e.kind for e in events] == ["submitted", "scheduled", "iteration"]
+        assert stream.replay(since_seq=2)[0].data["iteration"] == 1
+
+    def test_head_folds_counters_and_status(self, tmp_path):
+        stream = EventStream(tmp_path / "run")
+        stream.append("submitted", {"client": "a"})
+        stream.append("attached", {"client": "b"})
+        stream.append("scheduled", {"resumed": False})
+        stream.append("iteration", {"iteration": 1, "potential_difference": 0.5,
+                                    "energy": -1.0})
+        stream.append("checkpointed", {"iteration": 1})
+        head = stream.read_head()
+        assert head["status"] == "running"
+        assert head["clients"] == 2
+        assert head["solves"] == 1
+        assert head["iteration"] == 1
+        assert head["checkpointed_iteration"] == 1
+        assert head["offset"] == stream.log_path.stat().st_size
+        assert not stream.is_terminal()
+
+    def test_resumed_schedule_does_not_count_a_second_solve(self, tmp_path):
+        stream = EventStream(tmp_path / "run")
+        stream.append("submitted", {"client": "a"})
+        stream.append("scheduled", {"resumed": False})
+        stream.append("scheduled", {"resumed": True})
+        assert stream.read_head()["solves"] == 1
+
+    def test_terminal_head_references_payload(self, tmp_path):
+        stream = EventStream(tmp_path / "run")
+        stream.append("submitted", {})
+        event = stream.append("converged", {"converged": True, "iterations": 2,
+                                            "energy": -2.5},
+                              payload_arrays={"density": np.ones((2, 2))})
+        head = stream.read_head()
+        assert head["status"] == "converged"
+        assert head["result_payload"] == event.payload
+        assert stream.is_terminal()
+        np.testing.assert_array_equal(stream.load_payload(event)["density"],
+                                      np.ones((2, 2)))
+
+    def test_read_head_catches_up_past_stale_snapshot(self, tmp_path):
+        # A writer killed between the log append and the head update
+        # leaves a stale snapshot; read_head must fold the delta.
+        stream = EventStream(
+            tmp_path / "run",
+            fault_plan=AppendFaultPlan(skip_head_update_at=(1,)),
+        )
+        stream.append("submitted", {})
+        with pytest.raises(KilledAppend):
+            stream.append("scheduled", {"resumed": False})
+        assert json.loads(stream.head_path.read_text())["seq"] == 0  # stale
+        head = stream.read_head()
+        assert head["seq"] == 1 and head["status"] == "scheduled"
+        # The next locked append heals the snapshot too.
+        stream.fault_plan = None
+        stream.append("iteration", {"iteration": 1})
+        assert json.loads(stream.head_path.read_text())["seq"] == 2
+
+    def test_read_head_never_opens_payloads(self, tmp_path, monkeypatch):
+        # Regression (satellite): a status query is snapshot-only — it
+        # must not load a single .npz payload however large the run.
+        store = RunStore(tmp_path / "store")
+        receipt = store.submit(SPEC, client="a")
+        store.stream(receipt.run_id).append(
+            "converged", {"converged": True, "iterations": 1, "energy": -1.0},
+            payload_arrays={"density": np.ones((4, 4, 4))})
+
+        def forbidden_load(*a, **k):  # pragma: no cover - failure path
+            raise AssertionError("read_head opened a payload .npz")
+
+        monkeypatch.setattr(np, "load", forbidden_load)
+        head = store.read_head(receipt.run_id)
+        assert head["status"] == "converged"
+        assert head["result_payload"] is not None
+
+    def test_missing_head_is_rebuilt_from_log(self, tmp_path):
+        stream = EventStream(tmp_path / "run")
+        for k in range(3):
+            stream.append("iteration", {"iteration": k})
+        stream.head_path.unlink()
+        assert stream.read_head()["seq"] == 2
+        assert stream.append("checkpointed", {"iteration": 2}).seq == 3
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        stream = EventStream(tmp_path / "run")
+        for k in range(3):
+            stream.append("iteration", {"iteration": k})
+        raw = bytearray(stream.log_path.read_bytes())
+        raw[len(raw) // 3] ^= 0xFF  # flip a byte in an *interior* record
+        stream.log_path.write_bytes(bytes(raw))
+        stream.head_path.unlink()
+        with pytest.raises(StoreCorruptionError):
+            stream.replay()
+
+
+# ---------------------------------------------------------------------------
+# Kill-mid-append: the crash battery proper
+# ---------------------------------------------------------------------------
+
+
+class TestKillMidAppend:
+    @pytest.mark.parametrize("torn_bytes", [0, 2, 10, 25, "all_but_newline"])
+    def test_replay_lands_on_last_consistent_snapshot(self, tmp_path, torn_bytes):
+        run_dir = tmp_path / "run"
+        healthy = EventStream(run_dir)
+        healthy.append("submitted", {"client": "a"})
+        healthy.append("scheduled", {"resumed": False})
+        victim_record = encode_record(_event(2, iteration=1))
+        cut = len(victim_record) - 1 if torn_bytes == "all_but_newline" else torn_bytes
+        victim = EventStream(run_dir, fault_plan=AppendFaultPlan(torn_at={2: cut}))
+        with pytest.raises(KilledAppend):
+            victim.append("iteration", {"iteration": 1})
+        # The torn tail is on disk (a fresh reader sees it) ...
+        survivor = EventStream(run_dir)
+        assert [e.seq for e in survivor.replay()] == [0, 1]
+        head = survivor.read_head()
+        assert head["seq"] == 1 and head["status"] == "scheduled"
+
+    def test_next_append_truncates_and_continues_contiguously(self, tmp_path):
+        run_dir = tmp_path / "run"
+        EventStream(run_dir).append("submitted", {"client": "a"})
+        victim = EventStream(run_dir, fault_plan=AppendFaultPlan(torn_at={1: 17}))
+        with pytest.raises(KilledAppend):
+            victim.append("iteration", {"iteration": 1})
+        clean_size_plus_tear = run_dir.joinpath("events.log").stat().st_size
+        survivor = EventStream(run_dir)
+        event = survivor.append("scheduled", {"resumed": True})
+        assert event.seq == 1  # the torn event never happened
+        assert run_dir.joinpath("events.log").stat().st_size < \
+            clean_size_plus_tear + len(encode_record(event))
+        events = survivor.replay()
+        assert [e.seq for e in events] == [0, 1]
+        assert events[1].kind == "scheduled"
+
+    def test_resume_after_crash_is_bit_identical_to_uninterrupted(self, tmp_path):
+        # The same post-crash append sequence must produce a log whose
+        # decoded history equals the never-crashed one field for field
+        # (timestamps excluded: they record wall-clock, not history).
+        def history(run_dir, plan=None):
+            stream = EventStream(run_dir, fault_plan=plan)
+            stream.append("submitted", {"client": "a"})
+            if plan is not None:
+                with pytest.raises(KilledAppend):
+                    stream.append("iteration", {"iteration": 1})
+                stream = EventStream(run_dir)  # the restarted writer
+            stream.append("iteration", {"iteration": 1})
+            stream.append("converged", {"converged": True, "iterations": 1,
+                                        "energy": -1.0})
+            return [(e.seq, e.kind, e.data, e.payload)
+                    for e in stream.replay()], stream.read_head()
+
+        crashed, crashed_head = history(
+            tmp_path / "crashed", AppendFaultPlan(torn_at={1: 30}))
+        clean, clean_head = history(tmp_path / "clean")
+        assert crashed == clean
+        # offset is a byte position and timestamps vary in printed width,
+        # so compare the folded history fields, not the raw offsets.
+        for key in ("seq", "status", "iteration", "clients", "solves"):
+            assert crashed_head[key] == clean_head[key]
+
+    def test_killed_payload_write_leaves_no_dangling_reference(self, tmp_path):
+        # Payloads are written *before* their event: a kill between the
+        # two leaves an orphan .npz (harmless) but never an event whose
+        # payload is missing.
+        run_dir = tmp_path / "run"
+        stream = EventStream(run_dir, fault_plan=AppendFaultPlan(torn_at={0: 0}))
+        with pytest.raises(KilledAppend):
+            stream.append("converged", {"converged": True},
+                          payload_arrays={"density": np.ones(3)})
+        assert (run_dir / "payload-000000.npz").exists()  # orphan
+        assert EventStream(run_dir).replay() == []
+        # The reused seq writes a fresh payload atomically over the orphan.
+        event = EventStream(run_dir).append(
+            "converged", {"converged": True},
+            payload_arrays={"density": np.full(3, 2.0)})
+        assert event.seq == 0
+        np.testing.assert_array_equal(
+            EventStream(run_dir).load_payload(event)["density"], np.full(3, 2.0))
+
+
+# ---------------------------------------------------------------------------
+# Multi-process contention
+# ---------------------------------------------------------------------------
+
+_WRITER_SCRIPT = """
+import sys
+from repro.store import EventStream
+run_dir, writer, count = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+stream = EventStream(run_dir, lock_timeout=60.0)
+for n in range(count):
+    stream.append("iteration", {"writer": writer, "n": n})
+"""
+
+_SUBMIT_SCRIPT = """
+import json, sys
+from repro.store import RunStore
+root, client = sys.argv[1], sys.argv[2]
+spec = json.loads(sys.stdin.read())
+receipt = RunStore(root, lock_timeout=60.0).submit(spec, client=client)
+print(json.dumps({"run_id": receipt.run_id, "attached": receipt.attached}))
+"""
+
+
+def _python_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestConcurrentWriters:
+    def test_two_processes_share_one_stream_without_loss(self, tmp_path):
+        # Satellite: two writer processes contend on one stream's lock;
+        # afterwards the log holds every event exactly once, the
+        # sequence is contiguous, and each writer's own events are in
+        # its submission order.
+        run_dir = tmp_path / "run"
+        count = 25
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _WRITER_SCRIPT, str(run_dir), str(w),
+                 str(count)],
+                env=_python_env(), stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE)
+            for w in (0, 1)
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err.decode()
+        events = EventStream(run_dir).replay()
+        assert len(events) == 2 * count  # none lost, none duplicated
+        assert [e.seq for e in events] == list(range(2 * count))  # no reorder
+        for writer in (0, 1):
+            ours = [e.data["n"] for e in events if e.data["writer"] == writer]
+            assert ours == list(range(count))  # per-writer order preserved
+        head = EventStream(run_dir).read_head()
+        assert head["seq"] == 2 * count - 1
+        assert head["offset"] == (run_dir / "events.log").stat().st_size
+
+    def test_dedup_race_runs_exactly_one_solve(self, tmp_path):
+        # Satellite: two processes submit the identical spec at once;
+        # exactly one creates the run, the other attaches to it.
+        root = tmp_path / "store"
+        payload = json.dumps(SPEC).encode()
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _SUBMIT_SCRIPT, str(root), name],
+                env=_python_env(), stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+            for name in ("alice", "bob")
+        ]
+        receipts = []
+        for proc in procs:
+            out, err = proc.communicate(payload, timeout=120)
+            assert proc.returncode == 0, err.decode()
+            receipts.append(json.loads(out))
+        assert receipts[0]["run_id"] == receipts[1]["run_id"]
+        assert sorted(r["attached"] for r in receipts) == [False, True]
+        store = RunStore(root)
+        assert store.run_ids() == [receipts[0]["run_id"]]  # one indexed run
+        events = store.events(receipts[0]["run_id"])
+        assert [e.kind for e in events] == ["submitted", "attached"]
+        head = store.read_head(receipts[0]["run_id"])
+        assert head["clients"] == 2 and head["solves"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Store facade / index / spec
+# ---------------------------------------------------------------------------
+
+
+class TestRunStore:
+    def test_submit_creates_then_attaches(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        first = store.submit(SPEC, client="a")
+        second = store.submit(SPEC, client="b")
+        assert not first.attached and second.attached
+        assert first.run_id == second.run_id
+        assert first.run_id == f"run-{first.signature[:16]}"
+        assert store.spec(first.run_id) == canonical_spec(SPEC)
+        assert store.pending_runs() == [first.run_id]
+
+    def test_different_run_params_get_different_runs(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        other = json.loads(json.dumps(SPEC))
+        other["run"]["max_iterations"] = 3
+        first = store.submit(SPEC)
+        second = store.submit(other)
+        assert first.run_id != second.run_id
+        assert len(store.run_ids()) == 2
+
+    def test_result_lifecycle(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        receipt = store.submit(SPEC)
+        assert store.result(receipt.run_id) is None
+        stream = store.stream(receipt.run_id)
+        stream.append("converged", {"converged": True, "iterations": 2,
+                                    "energy": -2.5},
+                      payload_arrays={"density": np.ones((2, 2)),
+                                      "potential": np.zeros((2, 2)),
+                                      "energy": np.float64(-2.5)})
+        result = store.result(receipt.run_id)
+        assert result["energy"] == -2.5 and result["iterations"] == 2
+        np.testing.assert_array_equal(result["density"], np.ones((2, 2)))
+        assert store.pending_runs() == []
+
+    def test_failed_run_raises_on_result(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        receipt = store.submit(SPEC)
+        store.stream(receipt.run_id).append("failed", {"error": "boom"})
+        with pytest.raises(RuntimeError, match="boom"):
+            store.result(receipt.run_id)
+
+    def test_index_conflicting_registration_rejected(self, tmp_path):
+        index = StoreIndex(tmp_path)
+        index.register("run-aaaa", "sig-1", ts=1.0)
+        index.register("run-aaaa", "sig-1", ts=2.0)  # idempotent re-register
+        with pytest.raises(ValueError, match="different signature"):
+            index.register("run-aaaa", "sig-2", ts=3.0)
+        assert index.lookup("sig-1") == "run-aaaa"
+        assert index.lookup("sig-x") is None
+
+
+class TestSpecValidation:
+    def test_signature_is_stable_across_key_order(self):
+        shuffled = {"run": dict(SPEC["run"]), "solver": dict(SPEC["solver"]),
+                    "builder_args": dict(SPEC["builder_args"]),
+                    "builder": SPEC["builder"]}
+        assert problem_signature(SPEC) == problem_signature(shuffled)
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda s: s.update(builder="nope"), "unknown builder"),
+        (lambda s: s.update(extra=1), "unknown spec keys"),
+        (lambda s: s["builder_args"].pop("dims"), "dims"),
+        (lambda s: s["solver"].pop("grid_dims"), "grid_dims"),
+        (lambda s: s["solver"].update(executor="x"), "unsupported solver"),
+        (lambda s: s["run"].update(resume=True), "unsupported run"),
+    ])
+    def test_invalid_specs_rejected(self, mutate, match):
+        spec = json.loads(json.dumps(SPEC))
+        mutate(spec)
+        with pytest.raises(ValueError, match=match):
+            canonical_spec(spec)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_spec(["not", "a", "spec"])
